@@ -1,0 +1,31 @@
+"""Additional ablation: dynamic replica allocation vs a frozen allocation.
+
+DESIGN.md calls out dynamic allocation as a design choice worth ablating: a
+static allocation sized for the wrong mix should underperform the adaptive
+one (this is the quantitative core of Figure 6's bottom line).
+"""
+
+import dataclasses
+
+from benchmarks.conftest import run_cached
+from repro.experiments.runner import ExperimentConfig
+
+
+def test_static_versus_dynamic_allocation(benchmark):
+    dynamic = ExperimentConfig(name="ablation-dynamic", policy="MALB-SC", mix="browsing",
+                               db_label="MidDB", ram_mb=512,
+                               duration_s=200.0, warmup_s=80.0)
+    static_wrong = dataclasses.replace(
+        dynamic, name="ablation-static",
+        schedule_phases=("shopping", "browsing"), schedule_phase_length_s=40.0,
+        malb_static_allocation=True)
+
+    def run_both():
+        return run_cached(dynamic), run_cached(static_wrong)
+
+    adaptive, frozen = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print("Ablation - dynamic vs static (misconfigured) allocation, browsing mix")
+    print("  dynamic allocation: %7.1f tps" % adaptive.throughput_tps)
+    print("  static (tuned for shopping): %7.1f tps" % frozen.throughput_tps)
+    assert adaptive.throughput_tps > 0 and frozen.throughput_tps > 0

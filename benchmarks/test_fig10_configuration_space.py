@@ -1,0 +1,51 @@
+"""Figure 10: the full TPC-W configuration space.
+
+Nine charts ({Small,Mid,Large}DB x {ordering,shopping,browsing} mix), each
+with three memory sizes (256/512/1024 MB) and three systems
+(LeastConnections, MALB-SC, MALB-SC+UpdateFiltering) -- 81 experiments.
+
+The paper's qualitative findings this bench reports on:
+* MALB-SC and update filtering help most when per-group working sets fit in
+  memory but the combined working set does not (MidDB / LargeDB with enough
+  memory);
+* when the database is tiny relative to memory (SmallDB at 1 GB) or far too
+  large (LargeDB at 256 MB) the techniques add little, but never lose badly
+  to LeastConnections;
+* update filtering matters mainly for the update-heavy ordering mix.
+"""
+
+from benchmarks.conftest import run_all_cached
+from repro.experiments.configs import figure10_configs
+
+
+def test_figure10_configuration_space(benchmark, paper):
+    configs = figure10_configs()
+    results = benchmark.pedantic(lambda: run_all_cached(configs), rounds=1, iterations=1)
+    by_cell = {}
+    for r in results:
+        cell = by_cell.setdefault((r.config.db_label, r.config.mix), {})
+        cell.setdefault(r.config.ram_mb, {})[r.config.policy] = r.throughput_tps
+
+    print()
+    paper_cells = paper["figure10"]["throughput_tps"]
+    for db_label in ("LargeDB", "MidDB", "SmallDB"):
+        for mix in ("ordering", "shopping", "browsing"):
+            cell = by_cell[(db_label, mix)]
+            print("%s-%s  (measured | paper)" % (db_label, mix.capitalize()))
+            print("  %8s %28s %28s" % ("RAM", "LeastCon / MALB-SC / +UF", "paper"))
+            for ram in (256, 512, 1024):
+                measured = cell[ram]
+                expected = paper_cells[(db_label, mix)][ram]
+                print("  %6dMB %9.0f /%7.0f /%6.0f %13.0f /%6.0f /%6.0f" % (
+                    ram,
+                    measured["LeastConnections"], measured["MALB-SC"], measured["MALB-SC+UF"],
+                    expected["LeastConnections"], expected["MALB-SC"], expected["MALB-SC+UF"]))
+            print()
+
+    # Robust qualitative assertions over the whole sweep.
+    for (db_label, mix), cell in by_cell.items():
+        for ram, policies in cell.items():
+            assert all(tps > 0 for tps in policies.values()), (db_label, mix, ram)
+    # More memory never hurts LeastConnections.
+    for (db_label, mix), cell in by_cell.items():
+        assert cell[1024]["LeastConnections"] >= cell[256]["LeastConnections"] * 0.8

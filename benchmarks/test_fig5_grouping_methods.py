@@ -1,0 +1,24 @@
+"""Figure 5: throughput of the grouping methods (MALB-S / MALB-SC / MALB-SCAP).
+
+Paper (TPC-W ordering, MidDB, 512 MB): LeastConnections 37, LARD 50,
+MALB-SCAP 57, MALB-S 73, MALB-SC 76 tps.  The qualitative point is that the
+scanned-only lower estimate (SCAP) over-packs and loses to the conservative
+estimates (S, SC).
+"""
+
+from benchmarks.conftest import run_all_cached
+from repro.experiments.configs import figure5_configs
+from repro.experiments.report import format_result_table, shape_check
+
+
+def test_figure5_grouping_methods(benchmark, paper):
+    results = benchmark.pedantic(
+        lambda: run_all_cached(figure5_configs()), rounds=1, iterations=1)
+    print()
+    print(format_result_table(results, paper_tps=paper["figure5"]["throughput_tps"],
+                              title="Figure 5 - grouping methods, TPC-W ordering, MidDB, 512 MB"))
+    problems = shape_check(results, ["MALB-SCAP", "MALB-SC"])
+    print("shape check (MALB-SCAP <= MALB-SC):", "OK" if not problems else "; ".join(problems))
+    by_policy = {r.config.policy: r for r in results}
+    # SC must read no more per transaction than SCAP (which over-packs).
+    assert by_policy["MALB-SC"].read_kb_per_txn <= by_policy["MALB-SCAP"].read_kb_per_txn * 1.1

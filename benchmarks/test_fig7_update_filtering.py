@@ -1,0 +1,25 @@
+"""Figure 7: MALB-SC with update filtering on the TPC-W ordering mix.
+
+Paper (MidDB, 512 MB, 16 replicas): Single 3, LeastConnections 37, LARD 50,
+MALB-SC 76, MALB-SC+UpdateFiltering 113 tps (47% over MALB-SC alone).
+"""
+
+from benchmarks.conftest import run_all_cached
+from repro.experiments.configs import figure7_configs
+from repro.experiments.report import format_result_table, shape_check
+
+
+def test_figure7_update_filtering(benchmark, paper):
+    results = benchmark.pedantic(
+        lambda: run_all_cached(figure7_configs()), rounds=1, iterations=1)
+    print()
+    print(format_result_table(results, paper_tps=paper["figure7"]["throughput_tps"],
+                              title="Figure 7 - update filtering, TPC-W ordering, MidDB, 512 MB"))
+    problems = shape_check(results, ["Single", "MALB-SC", "MALB-SC+UF"])
+    print("shape check (Single <= MALB-SC <= MALB-SC+UF):",
+          "OK" if not problems else "; ".join(problems))
+    by_policy = {r.config.policy: r for r in results}
+    # Update filtering must reduce write I/O per transaction (the mechanism),
+    # and must not lose throughput relative to MALB-SC.
+    assert by_policy["MALB-SC+UF"].write_kb_per_txn < by_policy["MALB-SC"].write_kb_per_txn
+    assert by_policy["MALB-SC+UF"].throughput_tps >= 0.9 * by_policy["MALB-SC"].throughput_tps

@@ -1,0 +1,29 @@
+"""Figure 8: RUBiS bidding mix across replica memory sizes (256/512/1024 MB).
+
+Paper: MALB-SC helps below 1 GB (18->31 tps at 256 MB, 23->43 at 512 MB) and
+matches LeastConnections at 1 GB where the working sets fit; update filtering
+adds little because the bidding mix has only 15% updates.
+"""
+
+from benchmarks.conftest import run_all_cached
+from repro.experiments.configs import figure8_configs
+from repro.experiments.report import format_bar_chart
+
+
+def test_figure8_rubis_memory_sweep(benchmark, paper):
+    results = benchmark.pedantic(
+        lambda: run_all_cached(figure8_configs()), rounds=1, iterations=1)
+    print()
+    measured = {}
+    for r in results:
+        measured["%dMB / %s" % (r.config.ram_mb, r.config.policy)] = r.throughput_tps
+    print(format_bar_chart(measured, title="Figure 8 - RUBiS bidding vs memory (measured tps)"))
+    print()
+    paper_values = {"%dMB / %s" % (ram, policy): tps
+                    for ram, policies in paper["figure8"]["throughput_tps"].items()
+                    for policy, tps in policies.items()}
+    print(format_bar_chart(paper_values, title="Figure 8 - paper values (tps)"))
+    # Throughput must not decrease as memory grows, for every policy.
+    for policy in ("LeastConnections", "MALB-SC", "MALB-SC+UF"):
+        series = [r.throughput_tps for r in results if r.config.policy == policy]
+        assert series[0] <= series[-1] * 1.25

@@ -1,0 +1,35 @@
+"""Figure 9: the conceptual database-size vs memory-size space.
+
+Figure 9 has no measured data; it sketches the region where partitioning and
+filtering help (working sets larger than one replica's memory but smaller
+than the cluster's aggregate memory).  This bench derives that map from the
+corners of the Figure 10 sweep: the MALB-SC : LeastConnections throughput
+ratio per (database size, memory size) cell.
+"""
+
+from benchmarks.conftest import run_all_cached
+from repro.experiments.configs import figure10_configs
+
+
+def test_figure9_problem_space(benchmark, paper):
+    configs = figure10_configs(
+        mixes=("ordering",), rams=(256, 1024),
+        db_labels=("SmallDB", "LargeDB"),
+        policies=("LeastConnections", "MALB-SC"))
+    results = benchmark.pedantic(lambda: run_all_cached(configs), rounds=1, iterations=1)
+    by_cell = {}
+    for r in results:
+        by_cell.setdefault((r.config.db_label, r.config.ram_mb), {})[r.config.policy] = r.throughput_tps
+    print()
+    print("Figure 9 - MALB-SC / LeastConnections throughput ratio per corner of the space")
+    print("%-10s %8s %8s" % ("", "256MB", "1024MB"))
+    for db in ("SmallDB", "LargeDB"):
+        ratios = []
+        for ram in (256, 1024):
+            cell = by_cell[(db, ram)]
+            ratios.append(cell["MALB-SC"] / max(cell["LeastConnections"], 1e-9))
+        print("%-10s %8.2f %8.2f" % (db, ratios[0], ratios[1]))
+    print("(ratios near 1.0 = MALB neither helps nor hurts; the paper's sweet spot is the")
+    print(" middle of the space, covered exhaustively by the Figure 10 bench)")
+    for cell in by_cell.values():
+        assert cell["MALB-SC"] > 0 and cell["LeastConnections"] > 0

@@ -1,0 +1,18 @@
+"""Table 3: RUBiS average disk I/O per transaction.
+
+Paper: LeastConnections 11/162 KB (write/read), LARD 11/149, MALB-SC 11/111.
+"""
+
+from benchmarks.conftest import run_all_cached
+from repro.experiments.configs import figure4_configs
+from repro.experiments.report import format_io_table
+
+
+def test_table3_rubis_disk_io(benchmark, paper):
+    configs = [c for c in figure4_configs() if c.policy != "Single"]
+    results = benchmark.pedantic(lambda: run_all_cached(configs), rounds=1, iterations=1)
+    print()
+    print(format_io_table(results, paper_io=paper["table3"]["io_kb"],
+                          title="Table 3 - RUBiS average disk I/O per transaction (KB)"))
+    by_policy = {r.config.policy: r for r in results}
+    assert by_policy["MALB-SC"].read_kb_per_txn <= by_policy["LeastConnections"].read_kb_per_txn * 1.2

@@ -1,0 +1,26 @@
+"""Table 4: the transaction groups MALB-SC settles on for RUBiS bidding.
+
+Paper: [AboutMe]=9, [PutBid, StoreComment, ViewBidHistory, ViewUserInfo]=4,
+[Auth, BrowseCategories, BrowseRegions, BuyNow, PutComment, RegisterUser,
+SearchItemsByRegion, StoreBuyNow]=1, [RegisterItem, SearchItemsByCategory,
+StoreBid, ViewItem]=2.
+"""
+
+from benchmarks.conftest import run_cached
+from repro.experiments.configs import figure4_configs
+from repro.experiments.report import format_grouping_table
+
+
+def test_table4_rubis_groupings(benchmark, paper):
+    config = [c for c in figure4_configs() if c.policy == "MALB-SC"][0]
+    result = benchmark.pedantic(lambda: run_cached(config), rounds=1, iterations=1)
+    print()
+    print(format_grouping_table(result.groupings, result.replica_counts,
+                                paper_groupings=paper["table4"]["groupings"],
+                                title="Table 4 - RUBiS MALB-SC groupings (measured vs paper)"))
+    all_types = [t for types in result.groupings.values() for t in types]
+    assert len(all_types) == 17 and len(set(all_types)) == 17
+    # AboutMe is the big transaction: it must not share a group with the
+    # light browse interactions.
+    groups_of = {t: gid for gid, types in result.groupings.items() for t in types}
+    assert groups_of["AboutMe"] != groups_of["BrowseCategories"]

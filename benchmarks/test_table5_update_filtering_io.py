@@ -1,0 +1,20 @@
+"""Table 5: disk I/O per transaction including MALB-SC + update filtering.
+
+Paper: update filtering drops writes from 12 KB to 9 KB per transaction and
+reads from 20 KB to 18 KB.
+"""
+
+from benchmarks.conftest import run_all_cached
+from repro.experiments.configs import figure7_configs
+from repro.experiments.report import format_io_table
+
+
+def test_table5_update_filtering_io(benchmark, paper):
+    configs = [c for c in figure7_configs() if c.policy != "Single"]
+    results = benchmark.pedantic(lambda: run_all_cached(configs), rounds=1, iterations=1)
+    print()
+    print(format_io_table(results, paper_io=paper["table5"]["io_kb"],
+                          title="Table 5 - TPC-W disk I/O per transaction with update filtering (KB)"))
+    by_policy = {r.config.policy: r for r in results}
+    assert by_policy["MALB-SC+UF"].write_kb_per_txn < by_policy["MALB-SC"].write_kb_per_txn
+    assert by_policy["MALB-SC+UF"].read_kb_per_txn <= by_policy["MALB-SC"].read_kb_per_txn * 1.2

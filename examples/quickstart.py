@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: compare LeastConnections, LARD and MALB-SC on TPC-W.
+
+Builds a 16-replica Tashkent+ cluster over the TPC-W ordering mix (MidDB,
+512 MB per replica), runs each load-balancing policy for a few simulated
+minutes and prints the throughput, response time and disk I/O per
+transaction -- the measurements behind Figure 3 and Table 1 of the paper.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.experiments.report import format_result_table
+from repro.experiments.runner import ExperimentConfig, run_experiment
+
+
+def main() -> None:
+    policies = ["LeastConnections", "LARD", "MALB-SC", "MALB-SC+UF"]
+    results = []
+    for policy in policies:
+        config = ExperimentConfig(
+            name="quickstart",
+            workload="tpcw",
+            db_label="MidDB",      # 1.8 GB database
+            mix="ordering",        # 50 % update transactions
+            ram_mb=512,            # per-replica memory
+            policy=policy,
+            num_replicas=16,
+            duration_s=180.0,
+            warmup_s=80.0,
+        )
+        print("running %s ..." % policy)
+        results.append(run_experiment(config))
+
+    print()
+    print(format_result_table(
+        results,
+        paper_tps={"LeastConnections": 37, "LARD": 50, "MALB-SC": 76, "MALB-SC+UF": 113},
+        title="TPC-W ordering mix, MidDB 1.8 GB, 512 MB RAM, 16 replicas"))
+    print()
+    malb = [r for r in results if r.config.policy == "MALB-SC"][0]
+    print("MALB-SC transaction groups (replicas):")
+    for group_id, types in sorted(malb.groupings.items()):
+        print("  %-4s x%d  [%s]" % (group_id, malb.replica_counts.get(group_id, 0),
+                                    ", ".join(sorted(types))))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Working-set estimation walkthrough (the mechanics of Section 2.2 / 4.2.2).
+
+Shows exactly what the Tashkent+ load balancer sees: the execution plan of
+each TPC-W transaction type (the simulated EXPLAIN output), the catalog
+sizes (relpages), and the resulting lower / upper working-set estimates.
+Then it packs the types into transaction groups with the three methods
+MALB-S, MALB-SC and MALB-SCAP and prints the groups each method forms.
+
+Run with:  python examples/working_set_estimation.py
+"""
+
+from repro.core.estimator import WorkingSetEstimator
+from repro.core.grouping import GroupingMethod, build_groups
+from repro.storage.catalog import Catalog
+from repro.storage.pages import mb
+from repro.storage.planner import QueryPlanner
+from repro.workloads.tpcw import make_tpcw
+
+MEMORY = mb(512) - mb(70)   # replica RAM minus the 70 MB fixed overhead
+
+
+def main() -> None:
+    spec = make_tpcw(300)                       # MidDB, 1.8 GB
+    catalog = Catalog(schema=spec.schema)
+    planner = QueryPlanner(catalog=catalog)
+    estimator = WorkingSetEstimator(catalog=catalog, planner=planner)
+
+    print("=== Execution plan of BestSellers (what EXPLAIN returns) ===")
+    print(planner.plan(spec.types["BestSellers"]).explain())
+    print()
+
+    print("=== Working-set estimates per transaction type (MB) ===")
+    print("%-22s %12s %12s" % ("type", "lower (SCAP)", "upper (SC)"))
+    estimates = estimator.estimate_all(spec.types)
+    for name in sorted(estimates):
+        est = estimates[name]
+        print("%-22s %12.0f %12.0f" % (name, est.scanned_bytes / mb(1), est.total_bytes / mb(1)))
+    print()
+
+    for method in (GroupingMethod.MALB_S, GroupingMethod.MALB_SC, GroupingMethod.MALB_SCAP):
+        groups = build_groups(estimates, MEMORY, method=method)
+        print("=== %s: %d transaction groups (memory budget %d MB) ===" %
+              (method.value, len(groups), MEMORY // mb(1)))
+        for group in groups:
+            print("  " + group.describe())
+        print()
+
+
+if __name__ == "__main__":
+    main()

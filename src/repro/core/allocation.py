@@ -1,0 +1,428 @@
+"""Dynamic replica allocation (Section 2.4).
+
+Once transaction groups exist, the load balancer must decide how many
+replicas each group gets, and keep adjusting that as the workload shifts.
+The paper's mechanism, reproduced here:
+
+* **Group load** -- the average of the smoothed (CPU, disk) utilisations of
+  the replicas assigned to the group.
+* **Comparing loads** -- MAX(CPU, disk): the utilisation of the bottleneck
+  resource, so I/O-bound and CPU-bound groups are comparable.
+* **Replica allocation** -- move a replica from the group whose *future*
+  load (current load linearly extrapolated to one fewer replica,
+  ``load * n / (n - 1)``) is smallest to the most loaded group, but only if
+  the most loaded group's utilisation is at least ``1.25x`` the donor's
+  future load (hysteresis against noisy measurements).
+* **Fast re-allocation** -- when the imbalance is large, solve the balance
+  equations ``need_g / replicas_g`` equal across groups (``need_g`` being
+  utilisation x replicas) and move several replicas at once.
+* **Merging** -- two groups that each under-utilise a single replica are
+  assigned one shared replica, freeing the other for the busiest group.  If
+  the shared replica later becomes the most loaded in the system, the groups
+  are split back apart before any other re-allocation ("the MALB-SC
+  algorithm prioritizes the undoing of merging before allocating additional
+  replicas", Section 5.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.grouping import TransactionGroup
+from repro.sim.monitor import LoadSample
+
+INFINITE_LOAD = float("inf")
+
+
+@dataclass
+class GroupLoad:
+    """Load summary of one transaction group (the paper's (CPU, disk) pair)."""
+
+    cpu: float
+    disk: float
+    replicas: int
+
+    @property
+    def bottleneck(self) -> float:
+        return max(self.cpu, self.disk)
+
+    @property
+    def future_bottleneck(self) -> float:
+        """Extrapolated bottleneck utilisation if one replica were removed."""
+        if self.replicas <= 1:
+            return INFINITE_LOAD
+        return self.bottleneck * self.replicas / (self.replicas - 1)
+
+    @property
+    def total_need(self) -> float:
+        """Total resource need: utilisation times replicas (for balance equations)."""
+        return self.bottleneck * self.replicas
+
+
+@dataclass
+class AllocationAction:
+    """A record of one re-allocation decision, for logging and tests."""
+
+    kind: str                     # "move", "merge", "split", "fast", "none"
+    detail: str
+    moved_replicas: int = 0
+
+
+class ReplicaAllocator:
+    """Owns the group -> replicas assignment and adjusts it from load reports."""
+
+    def __init__(self, groups: Sequence[TransactionGroup], replica_ids: Sequence[int],
+                 hysteresis: float = 1.25, merge_threshold: float = 0.35,
+                 enable_merging: bool = True, enable_fast_reallocation: bool = True,
+                 fast_imbalance_ratio: float = 3.0) -> None:
+        if not groups:
+            raise ValueError("allocator needs at least one transaction group")
+        if not replica_ids:
+            raise ValueError("allocator needs at least one replica")
+        if len(replica_ids) < len(groups):
+            raise ValueError(
+                "cannot allocate %d groups over %d replicas" % (len(groups), len(replica_ids))
+            )
+        if hysteresis < 1.0:
+            raise ValueError("hysteresis must be >= 1.0")
+        self.groups: Dict[str, TransactionGroup] = {g.group_id: g for g in groups}
+        self.replica_ids: List[int] = sorted(replica_ids)
+        self.hysteresis = hysteresis
+        self.merge_threshold = merge_threshold
+        self.enable_merging = enable_merging
+        self.enable_fast_reallocation = enable_fast_reallocation
+        self.fast_imbalance_ratio = fast_imbalance_ratio
+        self.assignment: Dict[str, List[int]] = {}
+        self.actions: List[AllocationAction] = []
+        self.frozen = False
+        self._initial_allocation()
+
+    # ------------------------------------------------------------------
+    # Initial allocation
+    # ------------------------------------------------------------------
+    def _initial_allocation(self) -> None:
+        """Distribute replicas across groups, larger estimated groups first.
+
+        Every group gets at least one replica; remaining replicas are dealt
+        out round-robin in decreasing order of estimated working-set size
+        (a reasonable prior before any load measurements arrive).
+        """
+        ordered_groups = sorted(
+            self.groups.values(), key=lambda g: (-g.estimated_bytes, g.group_id)
+        )
+        self.assignment = {g.group_id: [] for g in ordered_groups}
+        replicas = list(self.replica_ids)
+        # One replica for each group first (availability), then round-robin.
+        for group in ordered_groups:
+            self.assignment[group.group_id].append(replicas.pop(0))
+        index = 0
+        while replicas:
+            group = ordered_groups[index % len(ordered_groups)]
+            self.assignment[group.group_id].append(replicas.pop(0))
+            index += 1
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def replicas_of(self, group_id: str) -> List[int]:
+        return list(self.assignment[group_id])
+
+    def groups_of_replica(self, replica_id: int) -> List[str]:
+        return [gid for gid, replicas in self.assignment.items() if replica_id in replicas]
+
+    def shared_replicas(self) -> List[int]:
+        """Replicas currently serving more than one group (merged groups)."""
+        return [rid for rid in self.replica_ids if len(self.groups_of_replica(rid)) > 1]
+
+    def replica_counts(self) -> Dict[str, int]:
+        return {gid: len(replicas) for gid, replicas in self.assignment.items()}
+
+    def group_load(self, group_id: str, loads: Mapping[int, LoadSample]) -> GroupLoad:
+        """Average the member replicas' smoothed utilisations (Section 2.4)."""
+        replicas = self.assignment[group_id]
+        if not replicas:
+            return GroupLoad(cpu=0.0, disk=0.0, replicas=0)
+        cpu = sum(loads[rid].cpu for rid in replicas) / len(replicas)
+        disk = sum(loads[rid].disk for rid in replicas) / len(replicas)
+        return GroupLoad(cpu=cpu, disk=disk, replicas=len(replicas))
+
+    def group_loads(self, loads: Mapping[int, LoadSample]) -> Dict[str, GroupLoad]:
+        return {gid: self.group_load(gid, loads) for gid in self.assignment}
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        assigned: Set[int] = set()
+        for group_id, replicas in self.assignment.items():
+            if not replicas:
+                raise AssertionError("group %s has no replicas" % group_id)
+            if len(set(replicas)) != len(replicas):
+                raise AssertionError("group %s lists a replica twice" % group_id)
+            assigned.update(replicas)
+        if assigned - set(self.replica_ids):
+            raise AssertionError("assignment references unknown replicas")
+        unassigned = set(self.replica_ids) - assigned
+        if unassigned:
+            raise AssertionError("replicas %s are not assigned to any group" % sorted(unassigned))
+
+    # ------------------------------------------------------------------
+    # Re-allocation
+    # ------------------------------------------------------------------
+    def rebalance(self, loads: Mapping[int, LoadSample]) -> AllocationAction:
+        """One re-allocation step from the latest load report.
+
+        Order of precedence, following the paper: undo merging if the shared
+        replica is the hottest machine; otherwise merge under-utilised
+        singleton groups; otherwise, if the imbalance is dramatic, run the
+        fast re-allocation; otherwise move a single replica (with
+        hysteresis).
+        """
+        if self.frozen:
+            return self._record(AllocationAction("none", "allocation frozen"))
+
+        split = self._try_split(loads)
+        if split is not None:
+            return self._record(split)
+
+        merge = self._try_merge(loads)
+        if merge is not None:
+            return self._record(merge)
+
+        if self.enable_fast_reallocation and self._is_dramatically_imbalanced(loads):
+            fast = self.fast_rebalance(loads)
+            if fast.moved_replicas > 0:
+                return self._record(fast)
+
+        move = self._try_single_move(loads)
+        if move is not None:
+            return self._record(move)
+        return self._record(AllocationAction("none", "balanced"))
+
+    def freeze(self) -> None:
+        """Stop all re-allocation (used when update filtering is enabled;
+        the paper disables dynamic allocation in that case, Section 4.2.3)."""
+        self.frozen = True
+
+    def unfreeze(self) -> None:
+        self.frozen = False
+
+    # ------------------------------------------------------------------
+    # Single-replica move with hysteresis
+    # ------------------------------------------------------------------
+    def _try_single_move(self, loads: Mapping[int, LoadSample]) -> Optional[AllocationAction]:
+        group_loads = self.group_loads(loads)
+        if len(group_loads) < 2:
+            return None
+        most_loaded = max(group_loads, key=lambda gid: group_loads[gid].bottleneck)
+        donors = {
+            gid: gl for gid, gl in group_loads.items()
+            if gid != most_loaded and gl.replicas > 1
+        }
+        if not donors:
+            return None
+        donor = min(donors, key=lambda gid: donors[gid].future_bottleneck)
+        if group_loads[most_loaded].bottleneck < self.hysteresis * donors[donor].future_bottleneck:
+            return None
+        replica = self._pick_replica_to_release(donor, loads)
+        if replica is None:
+            return None
+        self._move_replica(replica, donor, most_loaded)
+        return AllocationAction(
+            "move",
+            "moved replica %d from %s to %s" % (replica, donor, most_loaded),
+            moved_replicas=1,
+        )
+
+    def _pick_replica_to_release(self, group_id: str, loads: Mapping[int, LoadSample]) -> Optional[int]:
+        """Choose the donor's least-loaded, unshared replica."""
+        candidates = [
+            rid for rid in self.assignment[group_id]
+            if len(self.groups_of_replica(rid)) == 1
+        ]
+        if len(candidates) <= 0 or len(self.assignment[group_id]) <= 1:
+            return None
+        if len(candidates) == len(self.assignment[group_id]) == 1:
+            return None
+        return min(candidates, key=lambda rid: (max(loads[rid].cpu, loads[rid].disk), rid))
+
+    def _move_replica(self, replica_id: int, from_group: str, to_group: str) -> None:
+        self.assignment[from_group].remove(replica_id)
+        if replica_id not in self.assignment[to_group]:
+            self.assignment[to_group].append(replica_id)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Merging and splitting of under-utilised groups
+    # ------------------------------------------------------------------
+    def _try_merge(self, loads: Mapping[int, LoadSample]) -> Optional[AllocationAction]:
+        if not self.enable_merging:
+            return None
+        group_loads = self.group_loads(loads)
+        # Candidates: groups with exactly one replica that is not already
+        # shared, whose bottleneck utilisation is below the merge threshold.
+        candidates = []
+        for gid, gl in group_loads.items():
+            if gl.replicas != 1:
+                continue
+            replica = self.assignment[gid][0]
+            if len(self.groups_of_replica(replica)) > 1:
+                continue
+            if gl.bottleneck < self.merge_threshold:
+                candidates.append((gl.bottleneck, gid))
+        if len(candidates) < 2:
+            return None
+        candidates.sort()
+        (_, group_a), (_, group_b) = candidates[0], candidates[1]
+        keep_replica = self.assignment[group_a][0]
+        freed_replica = self.assignment[group_b][0]
+        # Both groups now share keep_replica.
+        self.assignment[group_b] = [keep_replica]
+        # The freed replica goes to the most loaded group.
+        most_loaded = max(group_loads, key=lambda gid: group_loads[gid].bottleneck)
+        if freed_replica not in self.assignment[most_loaded]:
+            self.assignment[most_loaded].append(freed_replica)
+        self.validate()
+        return AllocationAction(
+            "merge",
+            "merged %s and %s onto replica %d, freed replica %d for %s"
+            % (group_a, group_b, keep_replica, freed_replica, most_loaded),
+            moved_replicas=1,
+        )
+
+    def _try_split(self, loads: Mapping[int, LoadSample]) -> Optional[AllocationAction]:
+        shared = self.shared_replicas()
+        if not shared:
+            return None
+        # Is a shared replica the most loaded machine in the system?
+        def replica_bottleneck(rid: int) -> float:
+            return max(loads[rid].cpu, loads[rid].disk)
+
+        hottest = max(self.replica_ids, key=replica_bottleneck)
+        if hottest not in shared:
+            return None
+        sharing_groups = self.groups_of_replica(hottest)
+        # Find a replica to take from the group with the lowest future load.
+        group_loads = self.group_loads(loads)
+        donors = {
+            gid: gl for gid, gl in group_loads.items()
+            if gid not in sharing_groups and gl.replicas > 1
+        }
+        if not donors:
+            return None
+        donor = min(donors, key=lambda gid: donors[gid].future_bottleneck)
+        replica = self._pick_replica_to_release(donor, loads)
+        if replica is None:
+            return None
+        # Give the second sharing group its own replica again.
+        split_group = sharing_groups[-1]
+        self.assignment[donor].remove(replica)
+        self.assignment[split_group] = [replica]
+        self.validate()
+        return AllocationAction(
+            "split",
+            "split %s off shared replica %d onto replica %d (taken from %s)"
+            % (split_group, hottest, replica, donor),
+            moved_replicas=1,
+        )
+
+    # ------------------------------------------------------------------
+    # Fast re-allocation via balance equations
+    # ------------------------------------------------------------------
+    def _is_dramatically_imbalanced(self, loads: Mapping[int, LoadSample]) -> bool:
+        group_loads = self.group_loads(loads)
+        bottlenecks = [gl.bottleneck for gl in group_loads.values()]
+        if len(bottlenecks) < 2:
+            return False
+        highest = max(bottlenecks)
+        lowest = min(bottlenecks)
+        if highest < 0.6:
+            return False
+        return highest >= self.fast_imbalance_ratio * max(lowest, 0.01)
+
+    def fast_rebalance(self, loads: Mapping[int, LoadSample]) -> AllocationAction:
+        """Solve the balance equations and move several replicas at once.
+
+        Shared (merged) replicas are left untouched; the equations are solved
+        over the exclusively-assigned replicas only.
+        """
+        group_loads = self.group_loads(loads)
+        shared = set(self.shared_replicas())
+        exclusive: Dict[str, List[int]] = {
+            gid: [rid for rid in replicas if rid not in shared]
+            for gid, replicas in self.assignment.items()
+        }
+        movable_total = sum(len(replicas) for replicas in exclusive.values())
+        if movable_total < 2:
+            return AllocationAction("fast", "nothing movable", moved_replicas=0)
+
+        needs = {gid: max(group_loads[gid].total_need, 1e-6) for gid in self.assignment}
+        total_need = sum(needs.values())
+        # Fractional targets proportional to need, at least one replica for
+        # every group that currently owns an exclusive replica.
+        raw = {gid: movable_total * needs[gid] / total_need for gid in needs}
+        targets = {gid: max(1, int(math.floor(raw[gid]))) if exclusive[gid] else 0
+                   for gid in needs}
+        # Fix rounding so targets sum to the movable total.
+        def remainder(gid: str) -> float:
+            return raw[gid] - math.floor(raw[gid])
+
+        while sum(targets.values()) < movable_total:
+            gid = max((g for g in targets if exclusive[g] or targets[g] > 0),
+                      key=remainder, default=None)
+            if gid is None:
+                break
+            targets[gid] += 1
+        while sum(targets.values()) > movable_total:
+            gid = max(targets, key=lambda g: (targets[g] - raw[g], targets[g]))
+            if targets[gid] <= 1:
+                # Cannot reduce below one; find another group.
+                reducible = [g for g in targets if targets[g] > 1]
+                if not reducible:
+                    break
+                gid = max(reducible, key=lambda g: targets[g] - raw[g])
+            targets[gid] -= 1
+
+        # Collect surplus replicas from groups above target.
+        pool: List[int] = []
+        moved = 0
+        for gid in sorted(self.assignment, key=lambda g: group_loads[g].bottleneck):
+            while len(exclusive[gid]) > targets.get(gid, 0) and len(self.assignment[gid]) > 1:
+                rid = min(exclusive[gid], key=lambda r: (max(loads[r].cpu, loads[r].disk), r))
+                exclusive[gid].remove(rid)
+                self.assignment[gid].remove(rid)
+                pool.append(rid)
+        # Hand them to groups below target, most loaded first.
+        for gid in sorted(self.assignment, key=lambda g: -group_loads[g].bottleneck):
+            while pool and len(exclusive[gid]) < targets.get(gid, 0):
+                rid = pool.pop()
+                exclusive[gid].append(rid)
+                self.assignment[gid].append(rid)
+                moved += 1
+        # Any leftovers go to the most loaded group.
+        if pool:
+            most_loaded = max(group_loads, key=lambda gid: group_loads[gid].bottleneck)
+            for rid in pool:
+                self.assignment[most_loaded].append(rid)
+                moved += 1
+        self.validate()
+        return AllocationAction("fast", "balance equations moved %d replicas" % moved,
+                                moved_replicas=moved)
+
+    # ------------------------------------------------------------------
+    def _record(self, action: AllocationAction) -> AllocationAction:
+        self.actions.append(action)
+        return action
+
+    def describe(self) -> str:
+        lines = []
+        for gid in sorted(self.assignment):
+            group = self.groups[gid]
+            lines.append(
+                "%s -> replicas %s  types=[%s]"
+                % (gid, sorted(self.assignment[gid]), ", ".join(sorted(group.type_names)))
+            )
+        return "\n".join(lines)

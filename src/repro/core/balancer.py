@@ -1,0 +1,142 @@
+"""Load balancer interface.
+
+In Tashkent+ the load balancer is a JDBC-driver shim in front of the
+replicated cluster (Section 4.2.1): the application asks it for a connection
+and names the transaction type it is about to run; the balancer picks a
+replica, forwards all requests, and observes completions.  Memory-aware
+balancers additionally consume catalog metadata, execution plans and the
+per-replica CPU/disk utilisation reported by the monitoring daemons, and
+they may install update filters at the replicas.
+
+This module defines the interface every policy implements
+(:class:`LoadBalancer`) and the narrow view of the cluster a policy is given
+(:class:`ClusterView`).  Keeping the view narrow enforces the paper's
+information model: a policy can only use information the real middleware
+could obtain (transaction type, outstanding connections, utilisation,
+catalog metadata and plans) -- never the simulator's ground truth.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Set
+
+from repro.sim.monitor import LoadSample
+from repro.storage.catalog import Catalog
+from repro.storage.planner import QueryPlanner
+from repro.workloads.spec import TransactionType, WorkloadSpec
+
+
+class ClusterView(Protocol):
+    """What a load-balancing policy is allowed to see of the cluster."""
+
+    def replica_ids(self) -> List[int]:
+        """Identifiers of all database replicas."""
+        ...
+
+    def outstanding(self, replica_id: int) -> int:
+        """Transactions currently dispatched to a replica and not yet completed."""
+        ...
+
+    def load(self, replica_id: int) -> LoadSample:
+        """Smoothed CPU/disk utilisation reported by the replica's monitor daemon."""
+        ...
+
+    def replica_memory_bytes(self) -> int:
+        """Buffer memory available at each replica, after the fixed overhead
+        (the paper subtracts 70 MB for OS, PostgreSQL and proxy processes)."""
+        ...
+
+    def catalog(self) -> Catalog:
+        """Catalog metadata (schema + relpages), as the balancer would query it."""
+        ...
+
+    def planner(self) -> QueryPlanner:
+        """The EXPLAIN interface of the database."""
+        ...
+
+    def workload(self) -> WorkloadSpec:
+        """The set of transaction types the application has registered."""
+        ...
+
+
+class LoadBalancer(abc.ABC):
+    """Base class for all dispatching policies."""
+
+    #: human-readable policy name used in reports and benchmark output.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.view: Optional[ClusterView] = None
+        self.dispatched: int = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, view: ClusterView) -> None:
+        """Give the policy its view of the cluster.  Called once at start-up."""
+        self.view = view
+        self.on_attach()
+
+    def on_attach(self) -> None:
+        """Hook for subclasses: runs after the view becomes available."""
+
+    def _require_view(self) -> ClusterView:
+        if self.view is None:
+            raise RuntimeError("load balancer %r used before attach()" % (self.name,))
+        return self.view
+
+    # ------------------------------------------------------------------
+    # Dispatching
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def choose_replica(self, txn_type: TransactionType) -> int:
+        """Pick the replica that should execute the next instance of ``txn_type``."""
+
+    def dispatch(self, txn_type: TransactionType) -> int:
+        """Record-keeping wrapper around :meth:`choose_replica`."""
+        replica_id = self.choose_replica(txn_type)
+        self.dispatched += 1
+        return replica_id
+
+    def on_complete(self, replica_id: int, txn_type: TransactionType) -> None:
+        """Notification that a dispatched transaction finished at ``replica_id``."""
+
+    # ------------------------------------------------------------------
+    # Periodic work and update filtering
+    # ------------------------------------------------------------------
+    def periodic(self, now: float) -> None:
+        """Called on a fixed interval; dynamic policies rebalance here."""
+
+    def filter_tables(self, replica_id: int) -> Optional[Set[str]]:
+        """Tables whose remote writesets ``replica_id`` must apply.
+
+        ``None`` means "apply everything" (no update filtering).  Only the
+        memory-aware balancer with update filtering enabled returns a set.
+        """
+        return None
+
+    def observe_mix(self, type_counts: Dict[str, int]) -> None:
+        """Feed the policy an observation of the transaction mix.
+
+        The cluster calls this with a sample of recently requested
+        transaction types (name -> count).  Policies that allocate replicas
+        to transaction groups use it to size their allocation to the demand;
+        baselines ignore it.
+        """
+
+    def preferred_relations(self, replica_id: int) -> Optional[Dict[str, int]]:
+        """Relations (name -> bytes) this policy expects ``replica_id`` to serve.
+
+        Used only to pre-warm replica caches to the steady state the policy
+        would converge to, so short simulated runs measure steady-state
+        behaviour rather than the cold-start transient.  ``None`` means the
+        policy has no affinity (baselines): the replica is warmed with a
+        proportional slice of the whole database.
+        """
+        return None
+
+    def describe(self) -> str:
+        """One-line description used in experiment reports."""
+        return self.name

@@ -1,0 +1,150 @@
+"""Baseline load-balancing policies: round robin, least connections, LARD.
+
+Section 4.3 of the paper defines the two baselines Tashkent+ is compared
+against:
+
+* **LeastConnections** -- "uses no information about the transaction type.
+  The number of outstanding requests at a replica is used as a measure for
+  balancing load.  LeastConnections is a form of weighted round robin."
+* **LARD** -- locality-aware request distribution [PAB+98, ZBCS99]: "the
+  algorithm knows only the transaction type and dispatches a transaction to
+  a replica where instances of the same transaction type have recently run
+  ... It has no information about the working set, neither its size nor its
+  contents."
+
+Plain round robin is included as well because the introduction mentions it
+as the other conventional strategy; it is useful as a sanity baseline in
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.balancer import LoadBalancer
+from repro.workloads.spec import TransactionType
+
+
+class RoundRobinBalancer(LoadBalancer):
+    """Dispatch transactions to replicas in strict rotation."""
+
+    name = "RoundRobin"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next = 0
+
+    def choose_replica(self, txn_type: TransactionType) -> int:
+        view = self._require_view()
+        replicas = view.replica_ids()
+        if not replicas:
+            raise RuntimeError("cluster has no replicas")
+        replica = replicas[self._next % len(replicas)]
+        self._next += 1
+        return replica
+
+
+class LeastConnectionsBalancer(LoadBalancer):
+    """Dispatch to the replica with the fewest outstanding transactions.
+
+    Ties are broken by replica id so runs are deterministic.
+    """
+
+    name = "LeastConnections"
+
+    def choose_replica(self, txn_type: TransactionType) -> int:
+        view = self._require_view()
+        replicas = view.replica_ids()
+        if not replicas:
+            raise RuntimeError("cluster has no replicas")
+        return min(replicas, key=lambda rid: (view.outstanding(rid), rid))
+
+
+@dataclass
+class _LardTypeState:
+    """LARD bookkeeping for one transaction type: its current server set."""
+
+    servers: List[int] = field(default_factory=list)
+
+
+class LardBalancer(LoadBalancer):
+    """Locality-Aware Request Distribution, adapted to transaction types.
+
+    The classic LARD/R algorithm [PAB+98] maintains, per target (here: per
+    transaction type), a set of servers that have recently served it.
+    Requests are sent to the least-loaded member of that set; if that member
+    is too busy (load above ``high_watermark``) -- or the set is empty -- the
+    globally least-loaded replica is added to the set.  Members that have not
+    been used for a while are dropped so a type's footprint can shrink again.
+
+    Load is measured as outstanding connections, exactly the signal the paper
+    says LARD has available ("it has no information about the working set").
+    """
+
+    name = "LARD"
+
+    def __init__(self, high_watermark: int = 8, low_watermark: int = 2,
+                 max_set_size: Optional[int] = None) -> None:
+        super().__init__()
+        if high_watermark <= low_watermark:
+            raise ValueError("high watermark must exceed low watermark")
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.max_set_size = max_set_size
+        self._types: Dict[str, _LardTypeState] = {}
+
+    # ------------------------------------------------------------------
+    def _state(self, type_name: str) -> _LardTypeState:
+        if type_name not in self._types:
+            self._types[type_name] = _LardTypeState()
+        return self._types[type_name]
+
+    def _least_loaded(self, candidates: List[int]) -> int:
+        view = self._require_view()
+        return min(candidates, key=lambda rid: (view.outstanding(rid), rid))
+
+    def choose_replica(self, txn_type: TransactionType) -> int:
+        view = self._require_view()
+        replicas = view.replica_ids()
+        if not replicas:
+            raise RuntimeError("cluster has no replicas")
+        state = self._state(txn_type.name)
+        state.servers = [rid for rid in state.servers if rid in replicas]
+
+        if not state.servers:
+            chosen = self._least_loaded(replicas)
+            state.servers.append(chosen)
+            return chosen
+
+        chosen = self._least_loaded(state.servers)
+        if view.outstanding(chosen) < self.high_watermark:
+            return chosen
+
+        # The type's current servers are overloaded: spill to the globally
+        # least-loaded replica (LARD/R set expansion).  This is precisely the
+        # behaviour the paper identifies as harmful for large transactions:
+        # the new replica's memory gets wiped as well.
+        global_choice = self._least_loaded(replicas)
+        if view.outstanding(global_choice) >= self.high_watermark:
+            # Every replica is busy: LARD stops expanding ("turns off").
+            return chosen
+        if global_choice not in state.servers:
+            if self.max_set_size is None or len(state.servers) < self.max_set_size:
+                state.servers.append(global_choice)
+        return global_choice
+
+    def periodic(self, now: float) -> None:
+        """Shrink server sets whose members have become idle."""
+        view = self._require_view()
+        for state in self._types.values():
+            if len(state.servers) <= 1:
+                continue
+            # Drop the most idle member when the set's total load is low.
+            idle = [rid for rid in state.servers if view.outstanding(rid) <= self.low_watermark]
+            if len(idle) == len(state.servers):
+                state.servers.remove(idle[-1])
+
+    def server_sets(self) -> Dict[str, List[int]]:
+        """Current type -> server-set mapping (for inspection and tests)."""
+        return {name: list(state.servers) for name, state in self._types.items()}

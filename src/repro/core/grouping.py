@@ -1,0 +1,164 @@
+"""Transaction-group construction: MALB-S, MALB-SC and MALB-SCAP.
+
+Section 2.3 investigates three methods that use "progressively more
+information" from the working-set estimates to build transaction groups:
+
+* **MALB-S** (size only): plain Best Fit Decreasing on working-set sizes;
+  overlap between the working sets of co-located types is double counted.
+* **MALB-SC** (size + content): the overlap-aware BFD; shared tables and
+  indices are counted once, so packing is tighter and the group's aggregate
+  working-set estimate is more accurate.
+* **MALB-SCAP** (size + content + access pattern): the same overlap-aware
+  packing but the input working sets contain only the *scanned* relations --
+  a lower-bound estimate that tends to over-pack (Section 5.3 shows it loses
+  to MALB-SC on TPC-W because the penalty for under-estimation is high).
+
+Transaction types whose estimate exceeds the available memory are overflow
+types and receive their own singleton group.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+from repro.core.bin_packing import Bin, PackItem, pack_by_size, pack_with_overlap
+from repro.core.working_set import WorkingSetEstimate, union_relation_bytes
+
+
+class GroupingMethod(enum.Enum):
+    """The three packing methods compared in Figure 5."""
+
+    MALB_S = "MALB-S"
+    MALB_SC = "MALB-SC"
+    MALB_SCAP = "MALB-SCAP"
+
+
+@dataclass
+class TransactionGroup:
+    """A set of transaction types intended to share replicas.
+
+    Attributes:
+        group_id: stable identifier (``"G0"``, ``"G1"``, ...).
+        type_names: transaction types in the group.
+        relation_bytes: union of the relations of the member estimates (the
+            group's aggregate working set, counted once).
+        estimated_bytes: the packing method's estimate of the group's
+            combined working set.
+        overflow: True if the group holds a single type whose estimate
+            exceeds replica memory.
+        merged_from: group ids merged into this group by the low-utilisation
+            merging optimisation (empty for original packing output).
+    """
+
+    group_id: str
+    type_names: List[str]
+    relation_bytes: Dict[str, int]
+    estimated_bytes: int
+    overflow: bool = False
+    merged_from: List[str] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.type_names)
+
+    @property
+    def tables(self) -> Set[str]:
+        return set(self.relation_bytes.keys())
+
+    def contains(self, type_name: str) -> bool:
+        return type_name in self.type_names
+
+    def describe(self) -> str:
+        return "%s: [%s] (~%d MB%s)" % (
+            self.group_id,
+            ", ".join(sorted(self.type_names)),
+            self.estimated_bytes // (1024 * 1024),
+            ", overflow" if self.overflow else "",
+        )
+
+
+def _items_for_method(estimates: Mapping[str, WorkingSetEstimate],
+                      method: GroupingMethod) -> List[PackItem]:
+    items = []
+    for name, estimate in estimates.items():
+        if method is GroupingMethod.MALB_SCAP:
+            relation_bytes = estimate.scanned_relation_bytes()
+        else:
+            relation_bytes = {rel: int(size) for rel, size in estimate.relation_bytes.items()}
+        items.append(PackItem(name=name, relation_bytes=relation_bytes))
+    return items
+
+
+def build_groups(estimates: Mapping[str, WorkingSetEstimate], memory_bytes: int,
+                 method: GroupingMethod = GroupingMethod.MALB_SC) -> List[TransactionGroup]:
+    """Pack transaction types into groups that fit ``memory_bytes``.
+
+    ``memory_bytes`` is the memory available for data at one replica, i.e.
+    physical memory minus the fixed overhead the paper subtracts (70 MB).
+    """
+    if memory_bytes <= 0:
+        raise ValueError("memory_bytes must be positive")
+    if not estimates:
+        return []
+
+    items = _items_for_method(estimates, method)
+    if method is GroupingMethod.MALB_S:
+        bins = pack_by_size(items, memory_bytes)
+    else:
+        bins = pack_with_overlap(items, memory_bytes)
+
+    groups: List[TransactionGroup] = []
+    for i, packed_bin in enumerate(bins):
+        member_names = packed_bin.item_names
+        member_estimates = [estimates[name] for name in member_names]
+        # The group's true relation union always comes from the full
+        # estimates (even for MALB-SCAP, which packed using the reduced
+        # view) because update filtering and dispatching need the complete
+        # table list of the member types.
+        relation_bytes = union_relation_bytes(member_estimates)
+        if method is GroupingMethod.MALB_S:
+            estimated = packed_bin.summed_size
+        else:
+            estimated = packed_bin.used_size(content_aware=True)
+        groups.append(
+            TransactionGroup(
+                group_id="G%d" % i,
+                type_names=list(member_names),
+                relation_bytes=relation_bytes,
+                estimated_bytes=estimated,
+                overflow=packed_bin.overflow,
+            )
+        )
+    return groups
+
+
+def group_of_type(groups: Sequence[TransactionGroup]) -> Dict[str, str]:
+    """Map every transaction type to its group id."""
+    mapping: Dict[str, str] = {}
+    for group in groups:
+        for type_name in group.type_names:
+            if type_name in mapping:
+                raise ValueError("transaction type %r appears in two groups" % (type_name,))
+            mapping[type_name] = group.group_id
+    return mapping
+
+
+def merge_groups(a: TransactionGroup, b: TransactionGroup, new_id: Optional[str] = None) -> TransactionGroup:
+    """Merge two groups into one (the low-utilisation merging optimisation).
+
+    The merged group's estimate counts shared relations once, consistent
+    with the fact that both groups now share a single replica's memory.
+    """
+    relation_bytes: Dict[str, int] = dict(a.relation_bytes)
+    for name, size in b.relation_bytes.items():
+        relation_bytes[name] = max(relation_bytes.get(name, 0), size)
+    return TransactionGroup(
+        group_id=new_id or ("%s+%s" % (a.group_id, b.group_id)),
+        type_names=list(a.type_names) + [t for t in b.type_names if t not in a.type_names],
+        relation_bytes=relation_bytes,
+        estimated_bytes=sum(relation_bytes.values()),
+        overflow=a.overflow or b.overflow,
+        merged_from=[a.group_id, b.group_id],
+    )

@@ -1,0 +1,372 @@
+"""The memory-aware load balancer (MALB).
+
+This class ties together the pieces the paper describes in Sections 2 and 3:
+
+1. at start-up it obtains the execution plan of every registered transaction
+   type, estimates working sets from plans and catalog metadata
+   (:mod:`repro.core.estimator`),
+2. packs the types into transaction groups that fit replica memory using one
+   of the three methods MALB-S / MALB-SC / MALB-SCAP
+   (:mod:`repro.core.grouping`),
+3. allocates replicas to groups and keeps re-allocating from the smoothed
+   CPU/disk utilisation reports (:mod:`repro.core.allocation`),
+4. dispatches each incoming transaction to the least-loaded replica of its
+   type's group, and
+5. optionally, once the configuration is stable, enables update filtering
+   (:mod:`repro.core.update_filtering`) and freezes the allocation, as the
+   prototype does (Section 4.2.3).
+
+Re-grouping: the balancer watches the catalog version and rebuilds its
+groups when relation sizes change materially (Section 2.1, "if changes in
+the working sets require re-grouping the transactions, new transaction
+groups are formed").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.allocation import ReplicaAllocator
+from repro.core.balancer import LoadBalancer
+from repro.core.estimator import WorkingSetEstimator
+from repro.core.grouping import (
+    GroupingMethod,
+    TransactionGroup,
+    build_groups,
+    group_of_type,
+)
+from repro.core.update_filtering import FilterPlan, compute_filter_plan
+from repro.core.working_set import WorkingSetEstimate
+from repro.workloads.spec import TransactionType
+
+
+class MemoryAwareLoadBalancer(LoadBalancer):
+    """MALB: groups transaction types by working set and allocates replicas.
+
+    Args:
+        method: which grouping method to use (MALB-S, MALB-SC, MALB-SCAP).
+        update_filtering: enable the update-filtering optimisation.  Following
+            the prototype, filtering is activated only after the allocation
+            has been stable for ``filtering_stabilization_s`` seconds, and
+            dynamic re-allocation is then frozen.
+        enable_merging: merge groups that under-utilise their single replica
+            (the Section 5.3 ablation disables this).
+        enable_fast_reallocation: allow multi-replica moves via the balance
+            equations when the imbalance is dramatic.
+        hysteresis: re-allocation hysteresis factor (1.25 in the paper).
+        rebalance_interval_s: how often the allocator runs.
+        min_copies: availability floor used by the update-filtering plan.
+        memory_overhead_bytes: memory subtracted from each replica's RAM
+            before packing (70 MB in the paper); applied by the cluster view,
+            documented here for completeness.
+    """
+
+    def __init__(self, method: GroupingMethod = GroupingMethod.MALB_SC,
+                 update_filtering: bool = False,
+                 enable_merging: bool = True,
+                 enable_fast_reallocation: bool = True,
+                 hysteresis: float = 1.25,
+                 merge_threshold: float = 0.35,
+                 rebalance_interval_s: float = 10.0,
+                 filtering_stabilization_s: float = 60.0,
+                 min_copies: int = 2,
+                 static_allocation: bool = False,
+                 queue_pressure_norm: int = 8) -> None:
+        super().__init__()
+        self.method = method
+        self.update_filtering = update_filtering
+        self.enable_merging = enable_merging
+        self.enable_fast_reallocation = enable_fast_reallocation
+        self.hysteresis = hysteresis
+        self.merge_threshold = merge_threshold
+        self.rebalance_interval_s = rebalance_interval_s
+        self.filtering_stabilization_s = filtering_stabilization_s
+        self.min_copies = min_copies
+        self.static_allocation = static_allocation
+        self.queue_pressure_norm = queue_pressure_norm
+        self.name = method.value + ("+UF" if update_filtering else "")
+
+        self.estimates: Dict[str, WorkingSetEstimate] = {}
+        self.groups: List[TransactionGroup] = []
+        self.group_by_type: Dict[str, str] = {}
+        self.allocator: Optional[ReplicaAllocator] = None
+        self.filter_plan: Optional[FilterPlan] = None
+        self._last_rebalance: float = 0.0
+        self._catalog_version: int = -1
+        self._filtering_active_since: Optional[float] = None
+        self._observed_counts: Dict[str, float] = {}
+        self._last_move_time: float = 0.0
+        self._now_hint: float = 0.0
+        #: demand-estimate decay applied once per rebalance interval, so the
+        #: allocation tracks mix changes (Figure 6) within a few intervals.
+        self.demand_decay: float = 0.75
+
+    # ------------------------------------------------------------------
+    # Start-up: estimate, group, allocate
+    # ------------------------------------------------------------------
+    def on_attach(self) -> None:
+        self._build_configuration()
+
+    def _build_configuration(self) -> None:
+        view = self._require_view()
+        catalog = view.catalog()
+        estimator = WorkingSetEstimator(catalog=catalog, planner=view.planner())
+        self.estimates = estimator.estimate_all(view.workload().types)
+        memory = view.replica_memory_bytes()
+        self.groups = build_groups(self.estimates, memory, method=self.method)
+        self.group_by_type = group_of_type(self.groups)
+        self.allocator = ReplicaAllocator(
+            groups=self.groups,
+            replica_ids=view.replica_ids(),
+            hysteresis=self.hysteresis,
+            merge_threshold=self.merge_threshold,
+            enable_merging=self.enable_merging,
+            enable_fast_reallocation=self.enable_fast_reallocation,
+        )
+        if self.static_allocation:
+            self.allocator.freeze()
+        self._catalog_version = catalog.version
+        self.filter_plan = None
+        self._filtering_active_since = None
+        self._observed_counts: Dict[str, float] = {}
+        self._last_move_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Demand tracking and demand-proportional replica targets
+    # ------------------------------------------------------------------
+    def observe_mix(self, type_counts: Dict[str, int]) -> None:
+        """Seed the demand estimate and size the allocation accordingly.
+
+        The cluster feeds the balancer a sample of requested transaction
+        types before the run starts (and the balancer keeps updating the
+        estimate from its own dispatch stream).  Replica targets are
+        proportional to each group's observed demand weighted by a per-type
+        cost proxy, which is how the allocation ends up looking like the
+        paper's Table 2 (the busiest groups hold most of the cluster).
+        """
+        for name, count in type_counts.items():
+            self._observed_counts[name] = self._observed_counts.get(name, 0.0) + float(count)
+        if self.allocator is not None and not self.static_allocation:
+            self._apply_demand_targets(max_moves=None)
+        elif self.allocator is not None and self.static_allocation:
+            # A static configuration is still sized once, to the mix observed
+            # at configuration time, and then never adapted again.
+            self._apply_demand_targets(max_moves=None)
+
+    def dispatch(self, txn_type: TransactionType) -> int:
+        self._observed_counts[txn_type.name] = self._observed_counts.get(txn_type.name, 0.0) + 1.0
+        return super().dispatch(txn_type)
+
+    def _type_cost_proxy(self, type_name: str) -> float:
+        """Relative cost of one execution (CPU plus a charge per relation read)."""
+        spec = self._require_view().workload()
+        txn_type = spec.types.get(type_name)
+        if txn_type is None:
+            return 10.0
+        cost = txn_type.cpu_ms + 3.0 * len(txn_type.reads)
+        if txn_type.is_update:
+            cost += 4.0
+        return cost
+
+    def _group_demand_weights(self) -> Dict[str, float]:
+        weights: Dict[str, float] = {}
+        for group in self.groups:
+            weight = 0.0
+            for type_name in group.type_names:
+                weight += self._observed_counts.get(type_name, 0.0) * self._type_cost_proxy(type_name)
+            weights[group.group_id] = weight
+        return weights
+
+    def _demand_targets(self) -> Dict[str, int]:
+        """Replica counts proportional to demand, one replica minimum each."""
+        allocator = self._require_allocator()
+        replica_total = len(allocator.replica_ids)
+        weights = self._group_demand_weights()
+        total = sum(weights.values())
+        group_ids = [g.group_id for g in self.groups]
+        if total <= 0 or replica_total < len(group_ids):
+            return allocator.replica_counts()
+        raw = {gid: replica_total * weights[gid] / total for gid in group_ids}
+        targets = {gid: 1 for gid in group_ids}
+        for _ in range(replica_total - len(group_ids)):
+            gid = max(group_ids, key=lambda g: raw[g] - targets[g])
+            targets[gid] += 1
+        return targets
+
+    def _apply_demand_targets(self, max_moves: Optional[int] = 2,
+                              min_deviation: int = 1) -> int:
+        """Move replicas toward the demand-proportional targets.
+
+        Returns the number of replicas moved.  ``max_moves`` bounds how much
+        the allocation changes per rebalance interval so the system is not
+        destabilised by large simultaneous moves (except for the initial
+        sizing, which applies the full target); ``min_deviation`` suppresses
+        moves when the current allocation is already within one replica of
+        the target, leaving fine-tuning to the utilisation-based allocator.
+        """
+        view = self._require_view()
+        allocator = self._require_allocator()
+        targets = self._demand_targets()
+        counts_now = allocator.replica_counts()
+        worst = max(abs(counts_now.get(gid, 0) - targets.get(gid, 1)) for gid in targets) if targets else 0
+        if worst < min_deviation and max_moves is not None:
+            return 0
+        moves = 0
+        budget = max_moves if max_moves is not None else len(allocator.replica_ids)
+        while moves < budget:
+            counts = allocator.replica_counts()
+            over = [gid for gid in counts if counts[gid] > targets.get(gid, 1)]
+            under = [gid for gid in counts if counts[gid] < targets.get(gid, 1)]
+            if not over or not under:
+                break
+            donor = max(over, key=lambda gid: counts[gid] - targets.get(gid, 1))
+            receiver = max(under, key=lambda gid: targets.get(gid, 1) - counts[gid])
+            candidates = [
+                rid for rid in allocator.replicas_of(donor)
+                if len(allocator.groups_of_replica(rid)) == 1
+            ]
+            if len(candidates) <= 1 and len(allocator.replicas_of(donor)) <= 1:
+                break
+            if not candidates:
+                break
+            replica = min(candidates, key=lambda rid: (view.outstanding(rid), rid))
+            allocator.assignment[donor].remove(replica)
+            allocator.assignment[receiver].append(replica)
+            allocator.validate()
+            moves += 1
+        if moves:
+            self._last_move_time = self._now_hint
+        return moves
+
+    # ------------------------------------------------------------------
+    # Dispatching
+    # ------------------------------------------------------------------
+    def choose_replica(self, txn_type: TransactionType) -> int:
+        view = self._require_view()
+        allocator = self._require_allocator()
+        group_id = self.group_by_type.get(txn_type.name)
+        if group_id is None:
+            # Unknown type (not registered when groups were formed): fall
+            # back to least connections over the whole cluster.
+            candidates = view.replica_ids()
+        else:
+            candidates = allocator.replicas_of(group_id)
+            if not candidates:
+                candidates = view.replica_ids()
+        return min(candidates, key=lambda rid: (view.outstanding(rid), rid))
+
+    # ------------------------------------------------------------------
+    # Periodic work: re-allocation, re-grouping, filtering activation
+    # ------------------------------------------------------------------
+    def periodic(self, now: float) -> None:
+        view = self._require_view()
+        allocator = self._require_allocator()
+
+        # Re-group if the database has grown/shrunk materially since the
+        # estimates were computed.
+        if view.catalog().version != self._catalog_version and self.filter_plan is None:
+            self._build_configuration()
+            allocator = self._require_allocator()
+
+        self._now_hint = now
+        if now - self._last_rebalance >= self.rebalance_interval_s:
+            self._last_rebalance = now
+            if not self.static_allocation and not allocator.frozen:
+                # Age the demand estimate so the allocation follows mix changes.
+                for name in list(self._observed_counts):
+                    self._observed_counts[name] *= self.demand_decay
+                moved = self._apply_demand_targets(max_moves=2, min_deviation=2)
+                if moved == 0 and self.enable_merging:
+                    # Demand targets are satisfied; let the utilisation-based
+                    # allocator merge under-utilised singleton groups or undo
+                    # a merge whose shared replica became the hot spot.
+                    loads = {rid: self._effective_load(rid) for rid in view.replica_ids()}
+                    action = allocator._try_split(loads) or allocator._try_merge(loads)
+                    if action is not None:
+                        allocator.actions.append(action)
+                        self._last_move_time = now
+
+        if self.update_filtering and self.filter_plan is None:
+            if self._filtering_active_since is None:
+                self._filtering_active_since = now
+            elif (now - self._filtering_active_since >= self.filtering_stabilization_s
+                  and now - self._last_move_time >= 2 * self.rebalance_interval_s):
+                self._enable_filtering()
+
+    def _effective_load(self, replica_id: int):
+        """Smoothed utilisation, augmented with queueing pressure.
+
+        Raw utilisation saturates at 100%, so once several groups queue it no
+        longer distinguishes an overloaded group from a merely busy one.  The
+        replica's outstanding-connection count (which the balancer sees
+        anyway, Section 4.3) is folded in as additional pressure so that the
+        most backed-up group still attracts replicas.  This is an
+        implementation refinement over the paper's pure-utilisation load
+        signal; the ablation benches can disable it by freezing allocation.
+        """
+        from repro.sim.monitor import LoadSample
+
+        view = self._require_view()
+        sample = view.load(replica_id)
+        pressure = min(2.0, view.outstanding(replica_id) / float(self.queue_pressure_norm))
+        return LoadSample(cpu=max(sample.cpu, pressure if pressure > 1.0 else sample.cpu),
+                          disk=sample.disk)
+
+    def _enable_filtering(self) -> None:
+        """Install the filter plan and freeze the allocation (Section 4.2.3)."""
+        view = self._require_view()
+        allocator = self._require_allocator()
+        self.filter_plan = compute_filter_plan(
+            groups=self.groups,
+            assignment=allocator.assignment,
+            estimates=self.estimates,
+            catalog=view.catalog(),
+            min_copies=self.min_copies,
+        )
+        allocator.freeze()
+
+    def filter_tables(self, replica_id: int) -> Optional[Set[str]]:
+        if self.filter_plan is None:
+            return None
+        return self.filter_plan.tables_for(replica_id)
+
+    def preferred_relations(self, replica_id: int):
+        """Union of the relation maps of the groups assigned to a replica.
+
+        Lets the cluster pre-warm each replica with the data its transaction
+        groups will actually use, so measurements reflect the steady state
+        the allocator converges to.
+        """
+        allocator = self.allocator
+        if allocator is None:
+            return None
+        relations: Dict[str, int] = {}
+        for group_id in allocator.groups_of_replica(replica_id):
+            group = allocator.groups[group_id]
+            for name, size in group.relation_bytes.items():
+                relations[name] = max(relations.get(name, 0), int(size))
+        return relations or None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _require_allocator(self) -> ReplicaAllocator:
+        if self.allocator is None:
+            raise RuntimeError("MALB used before attach()")
+        return self.allocator
+
+    def groupings(self) -> Dict[str, List[str]]:
+        """Group id -> member transaction types (Tables 2 and 4)."""
+        return {group.group_id: sorted(group.type_names) for group in self.groups}
+
+    def replica_counts(self) -> Dict[str, int]:
+        """Group id -> number of replicas currently allocated."""
+        return self._require_allocator().replica_counts()
+
+    def describe(self) -> str:
+        lines = ["%s (%d groups)" % (self.name, len(self.groups))]
+        allocator = self.allocator
+        for group in sorted(self.groups, key=lambda g: g.group_id):
+            replicas = allocator.replicas_of(group.group_id) if allocator else []
+            lines.append("  %s  replicas=%d" % (group.describe(), len(replicas)))
+        return "\n".join(lines)

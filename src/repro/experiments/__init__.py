@@ -1,0 +1,40 @@
+"""Experiment harness: one configuration per paper table/figure, plus runners."""
+
+from repro.experiments.configs import (
+    EXPERIMENT_INDEX,
+    PAPER_FIGURES,
+    figure10_configs,
+    figure3_configs,
+    figure4_configs,
+    figure5_configs,
+    figure7_configs,
+    figure8_configs,
+)
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    make_balancer,
+    make_workload,
+    run_experiment,
+    run_many,
+)
+from repro.experiments.report import format_bar_chart, format_result_table
+
+__all__ = [
+    "EXPERIMENT_INDEX",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "PAPER_FIGURES",
+    "figure10_configs",
+    "figure3_configs",
+    "figure4_configs",
+    "figure5_configs",
+    "figure7_configs",
+    "figure8_configs",
+    "format_bar_chart",
+    "format_result_table",
+    "make_balancer",
+    "make_workload",
+    "run_experiment",
+    "run_many",
+]

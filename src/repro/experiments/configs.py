@@ -1,0 +1,360 @@
+"""Experiment configurations: one entry per table and figure of the paper.
+
+Each ``figureN_configs()`` / ``tableN`` helper returns the list of
+:class:`~repro.experiments.runner.ExperimentConfig` runs needed to
+regenerate that figure or table, and ``PAPER_FIGURES`` records the numbers
+the paper reports so that benchmarks and ``EXPERIMENTS.md`` can show the
+paper-vs-measured comparison side by side.
+
+The absolute throughput of the simulated cluster is not expected to match
+the 2006 testbed; what the reproduction targets is the *shape*: which policy
+wins, by roughly what factor, and where the crossovers lie in the
+database-size x memory-size space (Figure 9/10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import ExperimentConfig
+
+# Shorter runs for the 81-experiment sweep so the full harness stays fast.
+_SWEEP_DURATION_S = 200.0
+_SWEEP_WARMUP_S = 80.0
+
+
+# ----------------------------------------------------------------------
+# Paper-reported numbers (throughput in tps unless stated otherwise).
+# ----------------------------------------------------------------------
+PAPER_FIGURES: Dict[str, Dict] = {
+    "figure3": {
+        "description": "TPC-W ordering mix, MidDB 1.8GB, 512MB RAM, 16 replicas",
+        "throughput_tps": {"Single": 3, "LeastConnections": 37, "LARD": 50, "MALB-SC": 76},
+    },
+    "figure4": {
+        "description": "RUBiS bidding mix, 2.2GB DB, 512MB RAM, 16 replicas",
+        "throughput_tps": {"Single": 3, "LeastConnections": 31, "LARD": 34, "MALB-SC": 43},
+    },
+    "figure5": {
+        "description": "Grouping methods, TPC-W ordering, MidDB, 512MB",
+        "throughput_tps": {"LeastConnections": 37, "LARD": 50, "MALB-SCAP": 57,
+                           "MALB-S": 73, "MALB-SC": 76},
+    },
+    "figure6": {
+        "description": "Dynamic reconfiguration: shopping -> browsing -> shopping",
+        "steady_state_tps": {"shopping": 76, "browsing": 45},
+        "static_misconfigured_tps": 19,
+        "leastconnections_browsing_tps": 37,
+    },
+    "figure7": {
+        "description": "Update filtering, TPC-W ordering, MidDB, 512MB",
+        "throughput_tps": {"Single": 3, "LeastConnections": 37, "LARD": 50,
+                           "MALB-SC": 76, "MALB-SC+UF": 113},
+    },
+    "figure8": {
+        "description": "RUBiS bidding vs memory size",
+        "throughput_tps": {
+            256: {"LeastConnections": 18, "MALB-SC": 31, "MALB-SC+UF": 42},
+            512: {"LeastConnections": 23, "MALB-SC": 43, "MALB-SC+UF": 44},
+            1024: {"LeastConnections": 24, "MALB-SC": 44, "MALB-SC+UF": 44},
+        },
+    },
+    "figure10": {
+        "description": "TPC-W configuration space: DB size x mix x memory x policy",
+        "throughput_tps": {
+            ("LargeDB", "ordering"): {
+                256: {"LeastConnections": 17, "MALB-SC": 24, "MALB-SC+UF": 39},
+                512: {"LeastConnections": 19, "MALB-SC": 42, "MALB-SC+UF": 110},
+                1024: {"LeastConnections": 21, "MALB-SC": 56, "MALB-SC+UF": 147},
+            },
+            ("LargeDB", "shopping"): {
+                256: {"LeastConnections": 10, "MALB-SC": 22, "MALB-SC+UF": 51},
+                512: {"LeastConnections": 15, "MALB-SC": 35, "MALB-SC+UF": 60},
+                1024: {"LeastConnections": 15, "MALB-SC": 36, "MALB-SC+UF": 61},
+            },
+            ("LargeDB", "browsing"): {
+                256: {"LeastConnections": 5, "MALB-SC": 16, "MALB-SC+UF": 27},
+                512: {"LeastConnections": 7, "MALB-SC": 19, "MALB-SC+UF": 27},
+                1024: {"LeastConnections": 7, "MALB-SC": 19, "MALB-SC+UF": 27},
+            },
+            ("MidDB", "ordering"): {
+                256: {"LeastConnections": 20, "MALB-SC": 37, "MALB-SC+UF": 114},
+                512: {"LeastConnections": 29, "MALB-SC": 76, "MALB-SC+UF": 169},
+                1024: {"LeastConnections": 30, "MALB-SC": 113, "MALB-SC+UF": 194},
+            },
+            ("MidDB", "shopping"): {
+                256: {"LeastConnections": 16, "MALB-SC": 54, "MALB-SC+UF": 93},
+                512: {"LeastConnections": 26, "MALB-SC": 76, "MALB-SC+UF": 93},
+                1024: {"LeastConnections": 26, "MALB-SC": 79, "MALB-SC+UF": 93},
+            },
+            ("MidDB", "browsing"): {
+                256: {"LeastConnections": 11, "MALB-SC": 37, "MALB-SC+UF": 51},
+                512: {"LeastConnections": 19, "MALB-SC": 45, "MALB-SC+UF": 51},
+                1024: {"LeastConnections": 19, "MALB-SC": 46, "MALB-SC+UF": 51},
+            },
+            ("SmallDB", "ordering"): {
+                256: {"LeastConnections": 101, "MALB-SC": 212, "MALB-SC+UF": 247},
+                512: {"LeastConnections": 130, "MALB-SC": 211, "MALB-SC+UF": 257},
+                1024: {"LeastConnections": 156, "MALB-SC": 217, "MALB-SC+UF": 257},
+            },
+            ("SmallDB", "shopping"): {
+                256: {"LeastConnections": 267, "MALB-SC": 339, "MALB-SC+UF": 341},
+                512: {"LeastConnections": 278, "MALB-SC": 340, "MALB-SC+UF": 343},
+                1024: {"LeastConnections": 311, "MALB-SC": 342, "MALB-SC+UF": 343},
+            },
+            ("SmallDB", "browsing"): {
+                256: {"LeastConnections": 295, "MALB-SC": 299, "MALB-SC+UF": 295},
+                512: {"LeastConnections": 300, "MALB-SC": 299, "MALB-SC+UF": 305},
+                1024: {"LeastConnections": 300, "MALB-SC": 299, "MALB-SC+UF": 305},
+            },
+        },
+    },
+    "table1": {
+        "description": "TPC-W average disk I/O per transaction (KB)",
+        "io_kb": {"LeastConnections": {"write": 12, "read": 72},
+                  "LARD": {"write": 12, "read": 57},
+                  "MALB-SC": {"write": 12, "read": 20}},
+    },
+    "table2": {
+        "description": "TPC-W MALB-SC groupings (ordering mix)",
+        "groupings": [
+            (["BestSellers"], 2),
+            (["AdminConfirm"], 4),
+            (["BuyConfirm"], 7),
+            (["BuyRequest", "ShoppingCart"], 1),
+            (["ExecSearch", "OrderDisplay", "OrderInquiry", "ProductDetail"], 1),
+            (["Home", "NewProducts", "SearchRequest", "AdminRequest"], 1),
+        ],
+    },
+    "table3": {
+        "description": "RUBiS average disk I/O per transaction (KB)",
+        "io_kb": {"LeastConnections": {"write": 11, "read": 162},
+                  "LARD": {"write": 11, "read": 149},
+                  "MALB-SC": {"write": 11, "read": 111}},
+    },
+    "table4": {
+        "description": "RUBiS MALB-SC groupings (bidding mix)",
+        "groupings": [
+            (["AboutMe"], 9),
+            (["PutBid", "StoreComment", "ViewBidHistory", "ViewUserInfo"], 4),
+            (["Auth", "BrowseCategories", "BrowseRegions", "BuyNow", "PutComment",
+              "RegisterUser", "SearchItemsByRegion", "StoreBuyNow"], 1),
+            (["RegisterItem", "SearchItemsByCategory", "StoreBid", "ViewItem"], 2),
+        ],
+    },
+    "table5": {
+        "description": "TPC-W disk I/O per transaction incl. update filtering (KB)",
+        "io_kb": {"LeastConnections": {"write": 12, "read": 72},
+                  "LARD": {"write": 12, "read": 57},
+                  "MALB-SC": {"write": 12, "read": 20},
+                  "MALB-SC+UF": {"write": 9, "read": 18}},
+    },
+    "section5.3_working_sets": {
+        "description": "Estimated vs measured working sets (MB)",
+        "BestSellers": {"lower_mb": 610, "upper_mb": 608, "measured_mb": (600, 650)},
+        "OrderDisplay": {"lower_mb": 1, "upper_mb": 1600, "measured_mb": (400, 450)},
+    },
+    "section5.3_merging": {
+        "description": "Merging ablation (tps)",
+        "MALB-S": {"with_merging": 73, "without_merging": 66},
+        "MALB-SC": {"with_merging": 76, "without_merging": 70},
+    },
+}
+
+
+# ----------------------------------------------------------------------
+# Figure 3 / Table 1 / Table 2: TPC-W ordering, method comparison.
+# ----------------------------------------------------------------------
+def figure3_configs(seed: int = 1) -> List[ExperimentConfig]:
+    policies = ["Single", "LeastConnections", "LARD", "MALB-SC"]
+    return [
+        ExperimentConfig(
+            name="figure3",
+            workload="tpcw",
+            db_label="MidDB",
+            mix="ordering",
+            ram_mb=512,
+            policy=policy,
+            seed=seed,
+        )
+        for policy in policies
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figure 4 / Table 3 / Table 4: RUBiS bidding, method comparison.
+# ----------------------------------------------------------------------
+def figure4_configs(seed: int = 1) -> List[ExperimentConfig]:
+    policies = ["Single", "LeastConnections", "LARD", "MALB-SC"]
+    return [
+        ExperimentConfig(
+            name="figure4",
+            workload="rubis",
+            db_label="MidDB",
+            mix="bidding",
+            ram_mb=512,
+            policy=policy,
+            seed=seed,
+        )
+        for policy in policies
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figure 5: grouping methods.
+# ----------------------------------------------------------------------
+def figure5_configs(seed: int = 1) -> List[ExperimentConfig]:
+    policies = ["LeastConnections", "LARD", "MALB-SCAP", "MALB-S", "MALB-SC"]
+    return [
+        ExperimentConfig(
+            name="figure5",
+            workload="tpcw",
+            db_label="MidDB",
+            mix="ordering",
+            ram_mb=512,
+            policy=policy,
+            seed=seed,
+        )
+        for policy in policies
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figure 6: dynamic reconfiguration (shopping -> browsing -> shopping).
+# ----------------------------------------------------------------------
+def figure6_configs(seed: int = 1, phase_length_s: float = 900.0) -> List[ExperimentConfig]:
+    """The mix-switch experiment, plus the misconfigured-static reference run.
+
+    The paper runs 2000-second phases; the simulated phases default to 900 s,
+    long enough for the allocator to converge while keeping the bench quick.
+    """
+    dynamic = ExperimentConfig(
+        name="figure6-dynamic",
+        workload="tpcw",
+        db_label="MidDB",
+        mix="shopping",
+        ram_mb=512,
+        policy="MALB-SC",
+        schedule_phases=("shopping", "browsing", "shopping"),
+        schedule_phase_length_s=phase_length_s,
+        duration_s=3 * phase_length_s,
+        warmup_s=120.0,
+        seed=seed,
+    )
+    static_wrong = ExperimentConfig(
+        name="figure6-static-misconfigured",
+        workload="tpcw",
+        db_label="MidDB",
+        mix="browsing",
+        ram_mb=512,
+        policy="MALB-SC",
+        malb_static_allocation=True,
+        # The static configuration is the one tuned for the *shopping* mix:
+        # the runner warms the allocator on shopping before switching (see
+        # the Figure 6 benchmark), approximated here by freezing the initial
+        # allocation.
+        seed=seed,
+    )
+    leastcon_browsing = ExperimentConfig(
+        name="figure6-leastconnections-browsing",
+        workload="tpcw",
+        db_label="MidDB",
+        mix="browsing",
+        ram_mb=512,
+        policy="LeastConnections",
+        seed=seed,
+    )
+    return [dynamic, static_wrong, leastcon_browsing]
+
+
+# ----------------------------------------------------------------------
+# Figure 7 / Table 5: update filtering.
+# ----------------------------------------------------------------------
+def figure7_configs(seed: int = 1) -> List[ExperimentConfig]:
+    policies = ["Single", "LeastConnections", "LARD", "MALB-SC", "MALB-SC+UF"]
+    return [
+        ExperimentConfig(
+            name="figure7",
+            workload="tpcw",
+            db_label="MidDB",
+            mix="ordering",
+            ram_mb=512,
+            policy=policy,
+            seed=seed,
+        )
+        for policy in policies
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figure 8: RUBiS memory sweep.
+# ----------------------------------------------------------------------
+def figure8_configs(seed: int = 1) -> List[ExperimentConfig]:
+    configs = []
+    for ram in (256, 512, 1024):
+        for policy in ("LeastConnections", "MALB-SC", "MALB-SC+UF"):
+            configs.append(
+                ExperimentConfig(
+                    name="figure8",
+                    workload="rubis",
+                    mix="bidding",
+                    ram_mb=ram,
+                    policy=policy,
+                    duration_s=_SWEEP_DURATION_S,
+                    warmup_s=_SWEEP_WARMUP_S,
+                    seed=seed,
+                )
+            )
+    return configs
+
+
+# ----------------------------------------------------------------------
+# Figure 10: the 81-experiment TPC-W configuration space.
+# ----------------------------------------------------------------------
+def figure10_configs(seed: int = 1,
+                     db_labels: Sequence[str] = ("SmallDB", "MidDB", "LargeDB"),
+                     mixes: Sequence[str] = ("ordering", "shopping", "browsing"),
+                     rams: Sequence[int] = (256, 512, 1024),
+                     policies: Sequence[str] = ("LeastConnections", "MALB-SC", "MALB-SC+UF"),
+                     ) -> List[ExperimentConfig]:
+    configs = []
+    for db_label in db_labels:
+        for mix in mixes:
+            for ram in rams:
+                for policy in policies:
+                    configs.append(
+                        ExperimentConfig(
+                            name="figure10-%s-%s" % (db_label, mix),
+                            workload="tpcw",
+                            db_label=db_label,
+                            mix=mix,
+                            ram_mb=ram,
+                            policy=policy,
+                            duration_s=_SWEEP_DURATION_S,
+                            warmup_s=_SWEEP_WARMUP_S,
+                            seed=seed,
+                        )
+                    )
+    return configs
+
+
+# ----------------------------------------------------------------------
+# Experiment index: maps every paper artefact to its bench target.
+# ----------------------------------------------------------------------
+EXPERIMENT_INDEX: Dict[str, str] = {
+    "figure3": "benchmarks/test_fig3_tpcw_methods.py",
+    "table1": "benchmarks/test_table1_tpcw_disk_io.py",
+    "table2": "benchmarks/test_table2_tpcw_groupings.py",
+    "figure4": "benchmarks/test_fig4_rubis_methods.py",
+    "table3": "benchmarks/test_table3_rubis_disk_io.py",
+    "table4": "benchmarks/test_table4_rubis_groupings.py",
+    "figure5": "benchmarks/test_fig5_grouping_methods.py",
+    "figure6": "benchmarks/test_fig6_dynamic_reconfiguration.py",
+    "figure7": "benchmarks/test_fig7_update_filtering.py",
+    "table5": "benchmarks/test_table5_update_filtering_io.py",
+    "figure8": "benchmarks/test_fig8_rubis_memory_sweep.py",
+    "figure9": "benchmarks/test_fig9_problem_space.py",
+    "figure10": "benchmarks/test_fig10_configuration_space.py",
+    "section5.3_working_sets": "benchmarks/test_sec53_working_set_measurement.py",
+    "section5.3_merging": "benchmarks/test_sec53_merging_ablation.py",
+}

@@ -1,0 +1,150 @@
+"""The certifier: global certification, commit ordering and the persistent log.
+
+Tashkent's concurrency control is generalized snapshot isolation (GSI).
+Read-only transactions commit locally; update transactions are sent to the
+certifier at commit time, which "processes the writeset to detect
+write-write conflicts by comparing table and field identifiers for matches
+against writesets from recently committed update transactions.
+Successfully certified writesets are recorded in a persistent log, thus
+creating a global order" (Section 4.1).
+
+The certifier here is the logical component: certification decisions, the
+log, conflict detection, lag notifications and log truncation.  Latency of
+the round trip (network plus certification service time) is modelled by the
+replica proxy, and replication of the certifier itself (a leader plus two
+backups in the paper) is captured by :mod:`repro.replication.recovery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.replication.writeset import CertifiedWriteSet, WriteSet
+
+
+@dataclass
+class CertificationResult:
+    """Outcome of one certification request."""
+
+    committed: bool
+    version: int
+    conflict_with: Optional[int] = None   # commit version of the conflicting writeset
+
+
+@dataclass
+class CertifierStats:
+    requests: int = 0
+    commits: int = 0
+    aborts: int = 0
+    notifications_sent: int = 0
+
+    @property
+    def abort_rate(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.aborts / self.requests
+
+
+class Certifier:
+    """Certifies writesets, orders commits and retains the writeset log."""
+
+    def __init__(self, lag_notification_threshold: int = 25,
+                 max_log_entries: Optional[int] = None) -> None:
+        if lag_notification_threshold <= 0:
+            raise ValueError("lag notification threshold must be positive")
+        self.lag_notification_threshold = lag_notification_threshold
+        self.max_log_entries = max_log_entries
+        self.log: List[CertifiedWriteSet] = []
+        self._log_offset = 0          # version of the first retained entry minus one
+        self.stats = CertifierStats()
+
+    # ------------------------------------------------------------------
+    # Certification
+    # ------------------------------------------------------------------
+    @property
+    def current_version(self) -> int:
+        """Version of the most recently committed writeset (0 if none)."""
+        return self._log_offset + len(self.log)
+
+    def certify(self, writeset: WriteSet, snapshot_version: int, now: float = 0.0) -> CertificationResult:
+        """Certify a writeset executed against ``snapshot_version``.
+
+        The write-write conflict rule of (G)SI: the transaction aborts if any
+        writeset committed after its snapshot intersects its own writeset.
+        """
+        self.stats.requests += 1
+        conflict = self._find_conflict(writeset, snapshot_version)
+        if conflict is not None:
+            self.stats.aborts += 1
+            return CertificationResult(committed=False, version=self.current_version,
+                                       conflict_with=conflict)
+        version = self.current_version + 1
+        self.log.append(CertifiedWriteSet(version=version, writeset=writeset, commit_time=now))
+        self.stats.commits += 1
+        self._maybe_trim()
+        return CertificationResult(committed=True, version=version)
+
+    def _find_conflict(self, writeset: WriteSet, snapshot_version: int) -> Optional[int]:
+        if not writeset.items:
+            return None
+        start = max(snapshot_version, self._log_offset)
+        for entry in self.log[start - self._log_offset:]:
+            if entry.conflicts_with(writeset):
+                return entry.version
+        return None
+
+    # ------------------------------------------------------------------
+    # Update propagation support
+    # ------------------------------------------------------------------
+    def writesets_since(self, version: int, limit: Optional[int] = None) -> List[CertifiedWriteSet]:
+        """Committed writesets with versions greater than ``version``."""
+        if version < self._log_offset:
+            raise KeyError(
+                "replica requests version %d but the log starts at %d; recovery is required"
+                % (version, self._log_offset + 1)
+            )
+        start = version - self._log_offset
+        entries = self.log[start:]
+        if limit is not None:
+            entries = entries[:limit]
+        return list(entries)
+
+    def should_notify(self, replica_applied_version: int) -> bool:
+        """Whether a lag notification should be sent to a replica that is behind."""
+        behind = self.current_version - replica_applied_version
+        if behind >= self.lag_notification_threshold:
+            self.stats.notifications_sent += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Log management
+    # ------------------------------------------------------------------
+    def truncate(self, oldest_needed_version: int) -> int:
+        """Drop log entries no replica needs any more.  Returns entries dropped."""
+        if oldest_needed_version <= self._log_offset:
+            return 0
+        drop = min(oldest_needed_version - self._log_offset, len(self.log))
+        if drop <= 0:
+            return 0
+        del self.log[:drop]
+        self._log_offset += drop
+        return drop
+
+    def _maybe_trim(self) -> None:
+        if self.max_log_entries is None:
+            return
+        excess = len(self.log) - self.max_log_entries
+        if excess > 0:
+            del self.log[:excess]
+            self._log_offset += excess
+
+    def log_is_total_order(self) -> bool:
+        """Invariant check used by tests: versions are dense and increasing."""
+        expected = self._log_offset + 1
+        for entry in self.log:
+            if entry.version != expected:
+                return False
+            expected += 1
+        return True

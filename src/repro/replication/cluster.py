@@ -1,0 +1,330 @@
+"""The replicated cluster: replicas, certifier, load balancer and clients wired together.
+
+:class:`ReplicatedCluster` is the simulated counterpart of the whole testbed
+of Section 4.4: N replica machines (each a CPU, a disk and a database
+engine with a bounded buffer pool), the replicated certifier, the load
+balancer in front, the monitoring daemons feeding it utilisation data, and a
+closed-loop client population.  It also implements the
+:class:`~repro.core.balancer.ClusterView` protocol, i.e. it *is* the narrow
+interface through which load-balancing policies observe the system.
+
+A cluster with ``num_replicas=1`` and a round-robin balancer doubles as the
+"Single" standalone database bar of Figures 3, 4 and 7.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.balancer import LoadBalancer
+from repro.replication.certifier import Certifier
+from repro.replication.proxy import ProxyConfig
+from repro.replication.replica import Replica
+from repro.replication.writeset import CertifiedWriteSet
+from repro.sim.clients import ClientConfig, ClientPopulation
+from repro.sim.metrics import MetricsCollector
+from repro.sim.monitor import ClusterMonitor, LoadSample
+from repro.sim.resources import ReplicaResources
+from repro.sim.simulator import Simulator
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.catalog import Catalog
+from repro.storage.disk import DiskModel
+from repro.storage.engine import DatabaseEngine, EngineConfig
+from repro.storage.pages import mb
+from repro.storage.planner import QueryPlanner
+from repro.workloads.generator import WorkloadGenerator, WorkloadSchedule
+from repro.workloads.spec import TransactionType, WorkloadSpec
+
+#: Memory reserved for the OS, PostgreSQL processes, proxy and monitoring
+#: daemons; subtracted from physical RAM before sizing buffer pools and
+#: before bin packing (Section 4.4).
+DEFAULT_MEMORY_OVERHEAD_BYTES = mb(70)
+
+
+@dataclass
+class ClusterConfig:
+    """Configuration of one experiment's cluster."""
+
+    num_replicas: int = 16
+    replica_ram_bytes: int = mb(512)
+    memory_overhead_bytes: int = DEFAULT_MEMORY_OVERHEAD_BYTES
+    clients_per_replica: int = 10
+    think_time_s: float = 0.5
+    disk: DiskModel = field(default_factory=DiskModel)
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    proxy: ProxyConfig = field(default_factory=ProxyConfig)
+    monitor_interval_s: float = 5.0
+    balancer_period_s: float = 5.0
+    propagation_interval_s: float = 0.5
+    warm_start: bool = True
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        if self.replica_ram_bytes <= self.memory_overhead_bytes:
+            raise ValueError("replica RAM must exceed the fixed memory overhead")
+        if self.clients_per_replica <= 0:
+            raise ValueError("clients_per_replica must be positive")
+
+    @property
+    def buffer_bytes(self) -> int:
+        """Memory actually available for database pages at one replica."""
+        return self.replica_ram_bytes - self.memory_overhead_bytes
+
+    @property
+    def total_clients(self) -> int:
+        return self.num_replicas * self.clients_per_replica
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs from one simulated run."""
+
+    policy: str
+    config: ClusterConfig
+    metrics: MetricsCollector
+    groupings: Dict[str, List[str]] = field(default_factory=dict)
+    replica_counts: Dict[str, int] = field(default_factory=dict)
+    certifier_aborts: int = 0
+
+    @property
+    def throughput_tps(self) -> float:
+        return self.metrics.throughput_tps()
+
+    @property
+    def response_time_s(self) -> float:
+        return self.metrics.average_response_time()
+
+    @property
+    def read_kb_per_txn(self) -> float:
+        return self.metrics.read_kb_per_transaction()
+
+    @property
+    def write_kb_per_txn(self) -> float:
+        return self.metrics.write_kb_per_transaction()
+
+
+class ReplicatedCluster:
+    """Builds and runs one replicated-database configuration."""
+
+    def __init__(self, workload: WorkloadSpec, balancer: LoadBalancer,
+                 config: Optional[ClusterConfig] = None,
+                 schedule: Optional[WorkloadSchedule] = None,
+                 mix: Optional[str] = None) -> None:
+        self._workload = workload
+        self.balancer = balancer
+        self.config = config or ClusterConfig()
+        if schedule is None:
+            if mix is None:
+                raise ValueError("provide either a mix name or a workload schedule")
+            schedule = WorkloadSchedule.constant(mix)
+        self.schedule = schedule
+
+        self.sim = Simulator()
+        self._catalog = Catalog(schema=workload.schema)
+        self._planner = QueryPlanner(catalog=self._catalog)
+        self.certifier = Certifier()
+        self.monitor = ClusterMonitor(self.sim, interval=self.config.monitor_interval_s)
+        self.metrics = MetricsCollector(warmup_seconds=0.0)
+        self.replicas: Dict[int, Replica] = {}
+        self._outstanding: Dict[int, int] = {}
+        self._build_replicas()
+        self.generator = WorkloadGenerator(spec=self._workload, schedule=self.schedule,
+                                           seed=self.config.seed)
+        self.clients = ClientPopulation(
+            sim=self.sim,
+            config=ClientConfig(
+                clients=self.config.total_clients,
+                think_time_s=self.config.think_time_s,
+                seed=self.config.seed,
+            ),
+            generator=self.generator,
+            submit=self._submit,
+        )
+        self.balancer.attach(self)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_replicas(self) -> None:
+        for replica_id in range(self.config.num_replicas):
+            buffer_pool = BufferPool(capacity_bytes=self.config.buffer_bytes)
+            engine = DatabaseEngine(
+                catalog=self._catalog,
+                buffer_pool=buffer_pool,
+                config=self.config.engine,
+                rng=random.Random(self.config.seed * 1000 + replica_id),
+            )
+            resources = ReplicaResources.create(self.sim, replica_id)
+            replica = Replica(
+                replica_id=replica_id,
+                sim=self.sim,
+                engine=engine,
+                resources=resources,
+                certifier=self.certifier,
+                disk_model=self.config.disk,
+                proxy_config=self.config.proxy,
+            )
+            replica.metrics = self.metrics
+            replica.on_local_commit = self._on_local_commit
+            self.replicas[replica_id] = replica
+            self._outstanding[replica_id] = 0
+            self.monitor.register(replica_id, resources)
+
+    # ------------------------------------------------------------------
+    # ClusterView protocol (what the load balancer may see)
+    # ------------------------------------------------------------------
+    def replica_ids(self) -> List[int]:
+        return sorted(self.replicas.keys())
+
+    def outstanding(self, replica_id: int) -> int:
+        return self._outstanding[replica_id]
+
+    def load(self, replica_id: int) -> LoadSample:
+        return self.monitor.load_of(replica_id)
+
+    def replica_memory_bytes(self) -> int:
+        return self.config.buffer_bytes
+
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    def planner(self) -> QueryPlanner:
+        return self._planner
+
+    def workload(self) -> WorkloadSpec:
+        return self._workload
+
+    def workload_spec(self) -> WorkloadSpec:
+        return self._workload
+
+    # ------------------------------------------------------------------
+    # Transaction flow
+    # ------------------------------------------------------------------
+    def _submit(self, txn_type: TransactionType, client_id: int,
+                on_complete) -> None:
+        replica_id = self.balancer.dispatch(txn_type)
+        if replica_id not in self.replicas:
+            raise KeyError("balancer chose unknown replica %r" % (replica_id,))
+        self._outstanding[replica_id] += 1
+        submitted_at = self.sim.now
+
+        def done(committed: bool) -> None:
+            self._outstanding[replica_id] -= 1
+            self.balancer.on_complete(replica_id, txn_type)
+            on_complete()
+
+        self.replicas[replica_id].submit(txn_type, submitted_at, done)
+
+    def _on_local_commit(self, origin: Replica, entry: CertifiedWriteSet) -> None:
+        """Piggyback propagation: the committing replica is already up to date;
+        other replicas receive the writeset at their next pull (within the
+        propagation interval), mirroring the prototype's 500 ms pull plus
+        lag-notification scheme."""
+        for replica in self.replicas.values():
+            if replica.replica_id == origin.replica_id:
+                continue
+            if self.certifier.should_notify(replica.proxy.applied_version):
+                replica.pull_updates()
+
+    def _install_filters(self) -> None:
+        """Push the balancer's current update-filtering decision to the proxies."""
+        for replica_id, replica in self.replicas.items():
+            replica.proxy.set_filter(self.balancer.filter_tables(replica_id))
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def _warm_replicas(self) -> None:
+        """Pre-warm replica buffer pools to the steady state the policy targets.
+
+        Memory-aware policies warm each replica with the relations of its
+        transaction groups; baselines (which have no affinity) warm every
+        replica with a proportional slice of the whole database.  This makes
+        short simulated runs measure steady-state behaviour instead of the
+        cold-start transient; the dynamic-reconfiguration experiment still
+        pays realistic re-warming costs whenever the allocation changes.
+        """
+        for replica_id, replica in self.replicas.items():
+            relations = self.balancer.preferred_relations(replica_id)
+            if relations is None:
+                relations = {r.name: r.size_bytes for r in self._catalog.relations()}
+            total = float(sum(relations.values()))
+            if total <= 0:
+                continue
+            capacity = float(replica.engine.buffer_pool.capacity_bytes)
+            fraction = min(1.0, capacity / total)
+            for name, size in relations.items():
+                replica.engine.buffer_pool.warm(name, size * fraction)
+
+    def start(self) -> None:
+        """Schedule all periodic machinery and start the clients (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        # Let the balancer see a sample of the incoming mix so it can size
+        # its allocation before the measurement starts, then warm the caches
+        # to the steady state that allocation implies.
+        preview = WorkloadGenerator(spec=self._workload, schedule=self.schedule,
+                                    seed=self.config.seed + 7919)
+        counts: Dict[str, int] = {}
+        for _ in range(2000):
+            name = preview.next_type(0.0).name
+            counts[name] = counts.get(name, 0) + 1
+        self.balancer.observe_mix(counts)
+        if self.config.warm_start:
+            self._warm_replicas()
+        self.monitor.start()
+        self.clients.start()
+        # Update propagation: every replica pulls on the proxy's interval.
+        for replica in self.replicas.values():
+            self.sim.schedule_periodic(self.config.propagation_interval_s,
+                                       replica.pull_updates)
+        # Load-balancer periodic work (re-allocation, filter activation).
+        def balancer_tick() -> None:
+            self.balancer.periodic(self.sim.now)
+            self._install_filters()
+
+        self.sim.schedule_periodic(self.config.balancer_period_s, balancer_tick)
+
+    def run(self, duration_s: float, warmup_s: float = 0.0) -> RunResult:
+        """Run the simulation for ``duration_s`` simulated seconds."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if warmup_s < 0 or warmup_s >= duration_s:
+            raise ValueError("warmup must be shorter than the run")
+        self.metrics.warmup_seconds = warmup_s
+        self.start()
+        self.sim.run_until(duration_s)
+        return self.collect_result()
+
+    def collect_result(self) -> RunResult:
+        groupings: Dict[str, List[str]] = {}
+        replica_counts: Dict[str, int] = {}
+        if hasattr(self.balancer, "groupings"):
+            groupings = self.balancer.groupings()           # type: ignore[attr-defined]
+        if hasattr(self.balancer, "replica_counts"):
+            replica_counts = self.balancer.replica_counts()  # type: ignore[attr-defined]
+        return RunResult(
+            policy=self.balancer.name,
+            config=self.config,
+            metrics=self.metrics,
+            groupings=groupings,
+            replica_counts=replica_counts,
+            certifier_aborts=self.certifier.stats.aborts,
+        )
+
+
+def standalone_config(base: Optional[ClusterConfig] = None,
+                      ram_bytes: int = mb(1024)) -> ClusterConfig:
+    """Configuration for the "Single" standalone database reference point.
+
+    One replica with the full 1 GB of machine memory and the same client
+    intensity per replica as the clustered runs.
+    """
+    base = base or ClusterConfig()
+    return replace(base, num_replicas=1, replica_ram_bytes=ram_bytes)

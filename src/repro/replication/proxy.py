@@ -1,0 +1,133 @@
+"""The replication proxy attached to each replica.
+
+Tashkent is "pure replication middleware": a transparent proxy sits in front
+of every database replica (Figure 1).  The proxy
+
+* performs admission control with the Gatekeeper algorithm so bursts do not
+  overload the database [ENTZ04],
+* forwards certification requests to the certifier and applies the remote
+  writesets returned with the response,
+* pulls new updates periodically (every 500 ms in the prototype) when the
+  replica has been idle, and reacts to the certifier's lag notifications,
+* and, for Tashkent+, stores the update-filtering table list and forwards
+  only the writesets for those tables to the database (Section 4.2.3).
+
+The proxy is deliberately free of simulator details; the
+:class:`~repro.replication.replica.Replica` wires its decisions into the
+event loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional, Set
+
+
+@dataclass
+class ProxyConfig:
+    """Proxy tunables.
+
+    Attributes:
+        max_concurrency: Gatekeeper limit on transactions concurrently inside
+            the database; further arrivals queue in the proxy.
+        pull_interval_s: how often an idle replica asks the certifier for new
+            writesets (500 ms in the prototype).
+        certification_latency_s: one round trip to the certifier (network +
+            certification service time).
+    """
+
+    max_concurrency: int = 8
+    pull_interval_s: float = 0.5
+    certification_latency_s: float = 0.004
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency <= 0:
+            raise ValueError("max_concurrency must be positive")
+        if self.pull_interval_s <= 0:
+            raise ValueError("pull_interval_s must be positive")
+        if self.certification_latency_s < 0:
+            raise ValueError("certification latency must be non-negative")
+
+
+class AdmissionController:
+    """Gatekeeper-style admission control: bounded in-database concurrency."""
+
+    def __init__(self, max_concurrency: int) -> None:
+        if max_concurrency <= 0:
+            raise ValueError("max_concurrency must be positive")
+        self.max_concurrency = max_concurrency
+        self.active = 0
+        self._waiting: Deque[Callable[[], None]] = deque()
+        self.admitted_total = 0
+        self.queued_total = 0
+
+    def admit(self, start: Callable[[], None]) -> None:
+        """Run ``start`` now if a slot is free, otherwise queue it (FIFO)."""
+        if self.active < self.max_concurrency:
+            self.active += 1
+            self.admitted_total += 1
+            start()
+        else:
+            self.queued_total += 1
+            self._waiting.append(start)
+
+    def release(self) -> None:
+        """A transaction finished: free its slot and admit the next waiter."""
+        if self.active <= 0:
+            raise RuntimeError("release() without a matching admit()")
+        self.active -= 1
+        if self._waiting and self.active < self.max_concurrency:
+            start = self._waiting.popleft()
+            self.active += 1
+            self.admitted_total += 1
+            start()
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiting)
+
+
+class ReplicaProxy:
+    """Per-replica middleware state: admission, filtering, propagation cursor."""
+
+    def __init__(self, replica_id: int, config: Optional[ProxyConfig] = None) -> None:
+        self.replica_id = replica_id
+        self.config = config or ProxyConfig()
+        self.admission = AdmissionController(self.config.max_concurrency)
+        # Update filtering: None means apply every table's writesets.
+        self.filter_tables: Optional[Set[str]] = None
+        # Versions applied so far (update-propagation cursor).
+        self.applied_version = 0
+        self.writesets_applied = 0
+        self.writesets_filtered = 0
+
+    # ------------------------------------------------------------------
+    # Update filtering
+    # ------------------------------------------------------------------
+    def set_filter(self, tables: Optional[Set[str]]) -> None:
+        """Install (or clear) the update-filtering table list."""
+        self.filter_tables = set(tables) if tables is not None else None
+
+    def should_apply(self, table: str) -> bool:
+        """Whether writesets for ``table`` must be forwarded to the database."""
+        if self.filter_tables is None:
+            return True
+        return table in self.filter_tables
+
+    # ------------------------------------------------------------------
+    # Propagation bookkeeping
+    # ------------------------------------------------------------------
+    def advance(self, version: int) -> None:
+        if version > self.applied_version:
+            self.applied_version = version
+
+    def record_application(self, applied: bool) -> None:
+        if applied:
+            self.writesets_applied += 1
+        else:
+            self.writesets_filtered += 1
+
+    @property
+    def filtering_enabled(self) -> bool:
+        return self.filter_tables is not None

@@ -1,0 +1,104 @@
+"""Crash recovery of replicas and the certifier.
+
+Section 3 of the paper notes that update filtering does not change recovery:
+"If a replica crashes and later restarts, standard recovery is used.  For
+example, the database can be restored from other copies in the cluster or by
+the persistent log at the certifier."  The certifier itself is replicated
+(a leader and two backups in the experimental set-up) so its log survives
+individual failures.
+
+This module provides that machinery for the simulated system:
+
+* :class:`ReplicatedCertifierLog` -- a leader log mirrored to backups, with
+  fail-over that promotes the most up-to-date backup;
+* :func:`recover_replica` -- cold-restarts a replica: clears its buffer
+  pool, restores any dropped tables and replays the writesets it missed from
+  the certifier's log;
+* :func:`recovery_replay_plan` -- the list of writesets a recovering replica
+  must apply, useful for tests and for estimating recovery cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.replication.certifier import Certifier
+from repro.replication.replica import Replica
+from repro.replication.writeset import CertifiedWriteSet
+
+
+@dataclass
+class ReplicatedCertifierLog:
+    """A certifier leader with synchronously mirrored backups.
+
+    The paper uses one leader and two backups.  Every certified writeset is
+    appended to the leader and to all backups; fail-over promotes the backup
+    with the longest log, which by construction equals the leader's log, so
+    no committed transaction is lost.
+    """
+
+    leader: Certifier
+    backups: List[Certifier] = field(default_factory=list)
+
+    @classmethod
+    def create(cls, num_backups: int = 2) -> "ReplicatedCertifierLog":
+        if num_backups < 0:
+            raise ValueError("number of backups cannot be negative")
+        return cls(leader=Certifier(), backups=[Certifier() for _ in range(num_backups)])
+
+    def certify(self, writeset, snapshot_version: int, now: float = 0.0):
+        """Certify at the leader and mirror the decision to the backups."""
+        result = self.leader.certify(writeset, snapshot_version, now=now)
+        if result.committed:
+            for backup in self.backups:
+                mirrored = backup.certify(writeset, snapshot_version=backup.current_version,
+                                          now=now)
+                if not mirrored.committed:
+                    raise RuntimeError("backup certifier diverged from the leader")
+        return result
+
+    def fail_over(self) -> Certifier:
+        """Promote the most up-to-date backup to leader.
+
+        Returns the new leader.  Raises if no backup exists.
+        """
+        if not self.backups:
+            raise RuntimeError("no backup certifier available for fail-over")
+        best = max(self.backups, key=lambda c: c.current_version)
+        self.backups.remove(best)
+        self.backups.append(self.leader)
+        self.leader = best
+        return self.leader
+
+    @property
+    def current_version(self) -> int:
+        return self.leader.current_version
+
+
+def recovery_replay_plan(certifier: Certifier, applied_version: int) -> List[CertifiedWriteSet]:
+    """Writesets a replica at ``applied_version`` must replay to catch up."""
+    return certifier.writesets_since(applied_version)
+
+
+def recover_replica(replica: Replica, certifier: Optional[Certifier] = None,
+                    cold_cache: bool = True) -> int:
+    """Restart a crashed replica and bring it up to date from the log.
+
+    Returns the number of writesets replayed.  The replica's buffer pool is
+    cleared (a restart loses the page cache), previously dropped tables are
+    restored (a recovering replica rejoins as a full copy; the load balancer
+    may re-install filters afterwards), and all writesets committed since the
+    replica's applied version are re-applied through the normal path so their
+    resource cost is charged.
+    """
+    source = certifier or replica.certifier
+    if cold_cache:
+        replica.engine.buffer_pool.clear()
+    for table in list(replica.engine.dropped_tables):
+        replica.engine.restore_table(table)
+    replica.proxy.set_filter(None)
+    entries = recovery_replay_plan(source, replica.proxy.applied_version)
+    if entries:
+        replica.apply_remote_writesets(entries)
+    return len(entries)

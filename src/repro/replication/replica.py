@@ -1,0 +1,222 @@
+"""One database replica: engine + proxy + CPU/disk resources + GSI commit path.
+
+The replica wires the storage engine's resource demands into the event loop:
+
+* a transaction admitted by the proxy executes against the local buffer pool,
+  queues for the CPU, then queues for the disk channel to read its misses;
+* read-only transactions then commit locally (GSI lets them run entirely at
+  the replica, Section 4.1);
+* update transactions pay one round trip to the certifier; on success their
+  dirty pages are handed to the background writer (no fsync on the commit
+  path -- Tashkent unites durability with ordering in the middleware), and
+  the cluster propagates the writeset to the other replicas;
+* remote writesets arriving through update propagation are applied as
+  background CPU and disk work, competing with the replica's foreground
+  transactions for the same resources -- the contention update filtering
+  removes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.replication.certifier import Certifier
+from repro.replication.proxy import ProxyConfig, ReplicaProxy
+from repro.replication.writeset import CertifiedWriteSet
+from repro.sim.metrics import MetricsCollector
+from repro.sim.resources import ReplicaResources
+from repro.sim.simulator import Simulator
+from repro.storage.disk import DiskModel
+from repro.storage.engine import DatabaseEngine, TransactionWork
+from repro.workloads.spec import TransactionType
+
+# Callback invoked when a submitted transaction finishes (committed=True/False).
+CompletionCallback = Callable[[bool], None]
+
+
+class Replica:
+    """A single database replica participating in the replicated cluster."""
+
+    def __init__(self, replica_id: int, sim: Simulator, engine: DatabaseEngine,
+                 resources: ReplicaResources, certifier: Certifier,
+                 disk_model: Optional[DiskModel] = None,
+                 proxy_config: Optional[ProxyConfig] = None,
+                 max_retries: int = 3) -> None:
+        self.replica_id = replica_id
+        self.sim = sim
+        self.engine = engine
+        self.resources = resources
+        self.certifier = certifier
+        self.disk_model = disk_model or DiskModel()
+        self.proxy = ReplicaProxy(replica_id, proxy_config)
+        self.max_retries = max_retries
+        self.metrics: Optional[MetricsCollector] = None
+        # Hook installed by the cluster: called after a successful local
+        # commit so the writeset is propagated to the other replicas.
+        self.on_local_commit: Optional[Callable[["Replica", CertifiedWriteSet], None]] = None
+        self._txn_ids = itertools.count(1)
+        self.completed = 0
+        self.committed_updates = 0
+        self.aborted = 0
+
+    # ------------------------------------------------------------------
+    # Transaction submission
+    # ------------------------------------------------------------------
+    def submit(self, txn_type: TransactionType, submitted_at: float,
+               on_done: CompletionCallback) -> None:
+        """Accept a transaction from the load balancer."""
+        self.proxy.admission.admit(lambda: self._start(txn_type, submitted_at, on_done, attempt=1))
+
+    def _start(self, txn_type: TransactionType, submitted_at: float,
+               on_done: CompletionCallback, attempt: int) -> None:
+        txn_id = next(self._txn_ids)
+        snapshot = self.engine.snapshots.begin(txn_id)
+        work, writeset = self.engine.execute(txn_type)
+
+        def after_cpu() -> None:
+            read_time = self.disk_model.read_seconds(
+                work.random_read_bytes, work.sequential_read_bytes
+            )
+            if read_time > 0:
+                self.resources.disk.acquire(read_time, after_reads)
+            else:
+                after_reads()
+
+        def after_reads() -> None:
+            if writeset is None:
+                self._finish(txn_id, txn_type, submitted_at, work, committed=True,
+                             on_done=on_done)
+                return
+            # One round trip to the certifier.
+            self.sim.schedule(self.proxy.config.certification_latency_s,
+                              lambda: certify())
+
+        def certify() -> None:
+            stamped = writeset.__class__(
+                transaction_type=writeset.transaction_type,
+                items=writeset.items,
+                origin_replica=self.replica_id,
+                snapshot_version=snapshot,
+            )
+            result = self.certifier.certify(stamped, snapshot, now=self.sim.now)
+            if result.committed:
+                # Dirty pages go to the background writer; the transaction
+                # does not wait for them (durability lives in the middleware).
+                write_time = self.disk_model.write_seconds(work.write_bytes)
+                if write_time > 0:
+                    self.resources.disk.add_background_work(write_time)
+                self.proxy.advance(result.version)
+                self.engine.snapshots.advance(result.version)
+                self.committed_updates += 1
+                if self.on_local_commit is not None:
+                    entry = CertifiedWriteSet(version=result.version, writeset=stamped,
+                                              commit_time=self.sim.now)
+                    self.on_local_commit(self, entry)
+                self._finish(txn_id, txn_type, submitted_at, work, committed=True,
+                             on_done=on_done)
+            else:
+                self.aborted += 1
+                if self.metrics is not None:
+                    self.metrics.record_abort()
+                self.engine.snapshots.finish(txn_id)
+                if attempt < self.max_retries:
+                    # Retry immediately on the same replica, keeping the
+                    # admission slot (the prototype aborts and retries).
+                    self._retry(txn_type, submitted_at, on_done, attempt + 1)
+                else:
+                    self._finish(txn_id, txn_type, submitted_at, work, committed=False,
+                                 on_done=on_done, already_closed=True)
+
+        cpu_time = work.cpu_seconds
+        if cpu_time > 0:
+            self.resources.cpu.acquire(cpu_time, after_cpu)
+        else:
+            after_cpu()
+
+    def _retry(self, txn_type: TransactionType, submitted_at: float,
+               on_done: CompletionCallback, attempt: int) -> None:
+        self._start(txn_type, submitted_at, on_done, attempt)
+
+    def _finish(self, txn_id: int, txn_type: TransactionType, submitted_at: float,
+                work: TransactionWork, committed: bool, on_done: CompletionCallback,
+                already_closed: bool = False) -> None:
+        if not already_closed:
+            self.engine.snapshots.finish(txn_id)
+        self.completed += 1
+        if self.metrics is not None and committed:
+            self.metrics.record_completion(
+                time=self.sim.now,
+                transaction_type=txn_type.name,
+                replica_id=self.replica_id,
+                response_time=self.sim.now - submitted_at,
+                is_update=txn_type.is_update,
+                read_bytes=work.read_bytes,
+                write_bytes=self.disk_model.effective_write_bytes(work.write_bytes),
+            )
+        self.proxy.admission.release()
+        on_done(committed)
+
+    # ------------------------------------------------------------------
+    # Update propagation
+    # ------------------------------------------------------------------
+    def apply_remote_writesets(self, entries: Sequence[CertifiedWriteSet]) -> None:
+        """Apply a batch of committed writesets from the certifier.
+
+        Writesets originating at this replica are skipped (their effects are
+        already local); the rest are applied subject to the proxy's update
+        filter and charged as background CPU and disk work.
+        """
+        for entry in entries:
+            if entry.version <= self.proxy.applied_version:
+                continue
+            if entry.writeset.origin_replica == self.replica_id:
+                self.proxy.advance(entry.version)
+                self.engine.snapshots.advance(entry.version)
+                continue
+            allowed = self.proxy.filter_tables
+            work = self.engine.apply_writeset(entry.writeset, allowed_tables=allowed)
+            applied = work.write_bytes > 0 or work.cpu_seconds > 0
+            self.proxy.record_application(applied)
+            if applied:
+                if work.cpu_seconds > 0:
+                    self.resources.cpu.add_background_work(work.cpu_seconds)
+                io_time = self.disk_model.read_seconds(work.random_read_bytes,
+                                                       work.sequential_read_bytes)
+                io_time += self.disk_model.write_seconds(work.write_bytes)
+                if io_time > 0:
+                    self.resources.disk.add_background_work(io_time)
+                if self.metrics is not None:
+                    self.metrics.record_background_io(
+                        time=self.sim.now,
+                        replica_id=self.replica_id,
+                        read_bytes=work.read_bytes,
+                        write_bytes=self.disk_model.effective_write_bytes(work.write_bytes),
+                    )
+            self.proxy.advance(entry.version)
+            self.engine.snapshots.advance(entry.version)
+
+    def pull_updates(self) -> int:
+        """Fetch and apply all writesets committed since our applied version.
+
+        Returns the number of writesets fetched.  Called periodically (the
+        prototype pulls every 500 ms when idle) and by the certifier's lag
+        notifications.
+        """
+        entries = self.certifier.writesets_since(self.proxy.applied_version)
+        if entries:
+            self.apply_remote_writesets(entries)
+        return len(entries)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def lag(self) -> int:
+        return self.certifier.current_version - self.proxy.applied_version
+
+    def describe(self) -> str:
+        return "replica %d: completed=%d updates=%d aborted=%d lag=%d" % (
+            self.replica_id, self.completed, self.committed_updates, self.aborted, self.lag
+        )

@@ -1,0 +1,44 @@
+"""Writesets and their certified form.
+
+A writeset is "the core information required to reflect the effects of an
+update transaction's changes" (Section 4.1): which tables were changed,
+which rows (keys), and the payload to apply.  The raw
+:class:`~repro.storage.engine.WriteSet` is produced by the storage engine
+when an update transaction executes; once the certifier admits it, it gains
+a global commit version and becomes a :class:`CertifiedWriteSet`, the unit
+stored in the certifier's persistent log and propagated to replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set
+
+from repro.storage.engine import WriteItem, WriteSet
+
+
+@dataclass(frozen=True)
+class CertifiedWriteSet:
+    """A writeset that passed certification, with its global commit order."""
+
+    version: int
+    writeset: WriteSet
+    commit_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.version <= 0:
+            raise ValueError("commit versions start at 1")
+
+    @property
+    def tables(self) -> Iterable[str]:
+        return self.writeset.tables
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.writeset.payload_bytes
+
+    def conflicts_with(self, other: WriteSet) -> bool:
+        return self.writeset.conflicts_with(other)
+
+
+__all__ = ["CertifiedWriteSet", "WriteItem", "WriteSet"]

@@ -1,0 +1,24 @@
+"""Discrete-event simulation substrate: event loop, resources, clients, metrics."""
+
+from repro.sim.clients import ClientConfig, ClientPopulation
+from repro.sim.events import Event, EventQueue
+from repro.sim.metrics import CompletionRecord, MetricsCollector, ThroughputPoint
+from repro.sim.monitor import ClusterMonitor, LoadSample, ReplicaMonitor
+from repro.sim.resources import ReplicaResources, Resource
+from repro.sim.simulator import Simulator
+
+__all__ = [
+    "ClientConfig",
+    "ClientPopulation",
+    "ClusterMonitor",
+    "CompletionRecord",
+    "Event",
+    "EventQueue",
+    "LoadSample",
+    "MetricsCollector",
+    "ReplicaMonitor",
+    "ReplicaResources",
+    "Resource",
+    "Simulator",
+    "ThroughputPoint",
+]

@@ -1,0 +1,77 @@
+"""Event queue primitives for the discrete-event simulator.
+
+The simulator is a classic event-driven design: a priority queue of
+``(time, sequence, callback)`` entries.  The sequence number breaks ties so
+that events scheduled for the same instant fire in FIFO order, which keeps
+runs deterministic for a fixed random seed -- a property the tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, sequence)`` so they can live directly in a
+    heap.  ``cancelled`` supports lazy deletion: cancelling an event marks it
+    and the queue skips it when popped.
+    """
+
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """A time-ordered queue of events with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    def push(self, time: float, callback: EventCallback) -> Event:
+        """Schedule ``callback`` at absolute time ``time``."""
+        if time < 0:
+            raise ValueError("event time must be non-negative, got %r" % (time,))
+        event = Event(time=time, sequence=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or None if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next non-cancelled event, or None."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        self._heap.clear()

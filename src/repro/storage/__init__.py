@@ -1,0 +1,65 @@
+"""Single-replica database substrate.
+
+This package is the simulated equivalent of one PostgreSQL instance as used
+by the Tashkent+ prototype: relations and schemas, a ``pg_class``-style
+catalog, an ``EXPLAIN``-style query planner, an LRU buffer pool, a disk cost
+model and the engine that converts transaction executions into resource
+demand.
+"""
+
+from repro.storage.buffer_pool import BufferPool, BufferPoolStats
+from repro.storage.catalog import Catalog
+from repro.storage.disk import DiskModel
+from repro.storage.engine import (
+    DatabaseEngine,
+    EngineConfig,
+    TransactionWork,
+    WriteItem,
+    WriteSet,
+)
+from repro.storage.pages import (
+    GB,
+    KB,
+    MB,
+    PAGE_SIZE_BYTES,
+    SEGMENT_SIZE_BYTES,
+    bytes_for_pages,
+    gb,
+    mb,
+    pages_for_bytes,
+)
+from repro.storage.planner import QueryPlanner
+from repro.storage.query_plan import ExecutionPlan, PlanNode, PlanNodeKind
+from repro.storage.relation import Relation, RelationKind, Schema, index, table
+from repro.storage.snapshot import SnapshotManager
+
+__all__ = [
+    "BufferPool",
+    "BufferPoolStats",
+    "Catalog",
+    "DatabaseEngine",
+    "DiskModel",
+    "EngineConfig",
+    "ExecutionPlan",
+    "GB",
+    "KB",
+    "MB",
+    "PAGE_SIZE_BYTES",
+    "PlanNode",
+    "PlanNodeKind",
+    "QueryPlanner",
+    "Relation",
+    "RelationKind",
+    "Schema",
+    "SEGMENT_SIZE_BYTES",
+    "SnapshotManager",
+    "TransactionWork",
+    "WriteItem",
+    "WriteSet",
+    "bytes_for_pages",
+    "gb",
+    "index",
+    "mb",
+    "pages_for_bytes",
+    "table",
+]

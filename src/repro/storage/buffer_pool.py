@@ -1,0 +1,220 @@
+"""Buffer pool: an LRU approximation of the database page cache.
+
+The phenomenon the paper is built around is memory contention in the
+database buffer cache: when the combined working sets of the transaction
+types executing at a replica exceed its main memory, pages are continuously
+evicted and re-read and the replica becomes disk-bound (Section 1 and 5.2).
+
+Tracking individual 8 KB pages of a multi-gigabyte database would be far too
+expensive for a simulator that runs hundreds of configurations, so this
+buffer pool tracks *fractional residency per relation hot set*: for every
+(relation, hot-set) pair it records how many bytes of that hot set are
+currently cached, and it maintains LRU ordering across relations.  On a
+random access the expected number of page misses is the access size times
+the non-resident fraction of the hot set; on a sequential scan, the miss
+volume is the non-resident part of the whole relation.  Evictions shave
+bytes off the least-recently-used relations.
+
+This approximation reproduces the behaviours the paper relies on:
+
+* when the sum of hot sets on a replica fits in memory, the steady-state
+  miss rate approaches zero (in-memory execution);
+* when it does not, the steady-state miss rate approaches
+  ``1 - capacity / combined_hot_set`` for random accesses, i.e. the replica
+  does disk I/O on most transactions;
+* a large sequential scan displaces other relations' pages abruptly, which
+  is exactly the "large request wipes out memory" effect that breaks LARD.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class BufferPoolStats:
+    """Cumulative counters for diagnosis and the disk-I/O tables."""
+
+    bytes_requested: float = 0.0
+    bytes_missed: float = 0.0
+    accesses: int = 0
+    scans: int = 0
+    evicted_bytes: float = 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.bytes_requested <= 0:
+            return 1.0
+        return 1.0 - (self.bytes_missed / self.bytes_requested)
+
+
+class BufferPool:
+    """Fractional-residency LRU buffer pool.
+
+    Args:
+        capacity_bytes: usable buffer memory of the replica (the paper
+            subtracts 70 MB of OS / PostgreSQL / proxy overhead from the
+            machine's physical memory before handing the figure to the bin
+            packer; callers are expected to do the same here).
+    """
+
+    def __init__(self, capacity_bytes: int, skew: float = 0.35) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("buffer pool capacity must be positive")
+        if not 0.0 < skew <= 1.0:
+            raise ValueError("skew exponent must be in (0, 1]")
+        self.capacity_bytes = capacity_bytes
+        #: Access-popularity skew: with a fraction ``f`` of a hot set resident,
+        #: the probability that an access hits the cache is ``f ** skew``.
+        #: ``skew=1`` models uniformly random accesses; real OLTP accesses are
+        #: Zipf-like, so caching half of a hot set captures more than half
+        #: of the accesses.  0.35 corresponds to a strongly skewed OLTP workload.
+        self.skew = skew
+        # relation name -> resident bytes; insertion order is LRU order
+        # (oldest first, most recently used last).
+        self._resident: "OrderedDict[str, float]" = OrderedDict()
+        # relation name -> size of the hot set residency is capped at.
+        self._hot_set: Dict[str, float] = {}
+        self.stats = BufferPoolStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def resident_bytes(self) -> float:
+        """Total bytes currently cached."""
+        return sum(self._resident.values())
+
+    @property
+    def free_bytes(self) -> float:
+        return max(0.0, self.capacity_bytes - self.resident_bytes)
+
+    def resident_bytes_of(self, relation: str) -> float:
+        return self._resident.get(relation, 0.0)
+
+    def resident_relations(self) -> List[str]:
+        """Relations with any cached bytes, LRU (oldest) first."""
+        return [name for name, resident in self._resident.items() if resident > 0]
+
+    def resident_fraction(self, relation: str) -> float:
+        """Fraction of the relation's hot set currently cached."""
+        hot = self._hot_set.get(relation, 0.0)
+        if hot <= 0:
+            return 0.0
+        return min(1.0, self._resident.get(relation, 0.0) / hot)
+
+    # ------------------------------------------------------------------
+    # Access paths
+    # ------------------------------------------------------------------
+    def access(self, relation: str, bytes_needed: float, hot_set_bytes: float) -> float:
+        """Random access of ``bytes_needed`` bytes within a hot set.
+
+        Returns the number of bytes that must be read from disk (expected
+        miss volume).  The cached fraction of the hot set grows by the miss
+        volume, displacing least-recently-used data if necessary.
+        """
+        if bytes_needed < 0:
+            raise ValueError("bytes_needed must be non-negative")
+        if hot_set_bytes <= 0:
+            return 0.0
+        bytes_needed = min(bytes_needed, hot_set_bytes)
+
+        self._hot_set[relation] = max(self._hot_set.get(relation, 0.0), hot_set_bytes)
+        resident = self._resident.get(relation, 0.0)
+        resident_fraction = min(1.0, resident / hot_set_bytes) if hot_set_bytes > 0 else 1.0
+        hit_fraction = resident_fraction ** self.skew
+        miss_bytes = bytes_needed * (1.0 - hit_fraction)
+
+        # Bring the missed bytes into the cache.  Residency is capped at the
+        # largest hot set ever observed for the relation (not this access's
+        # hot set -- a narrow access must never shrink what is cached) and at
+        # the pool capacity.
+        new_resident = min(self._hot_set[relation], resident + miss_bytes, float(self.capacity_bytes))
+        self._resident[relation] = new_resident
+        self._resident.move_to_end(relation)
+        self._evict_to_capacity(protect=relation)
+
+        self.stats.accesses += 1
+        self.stats.bytes_requested += bytes_needed
+        self.stats.bytes_missed += miss_bytes
+        return miss_bytes
+
+    def scan(self, relation: str, relation_bytes: float) -> float:
+        """Sequential scan of the whole relation.
+
+        Returns the miss volume (the non-resident part of the relation).
+        After the scan the relation is fully resident up to pool capacity.
+        """
+        if relation_bytes <= 0:
+            return 0.0
+        self._hot_set[relation] = max(self._hot_set.get(relation, 0.0), relation_bytes)
+        resident = self._resident.get(relation, 0.0)
+        miss_bytes = max(0.0, relation_bytes - resident)
+
+        self._resident[relation] = min(relation_bytes, float(self.capacity_bytes))
+        self._resident.move_to_end(relation)
+        self._evict_to_capacity(protect=relation)
+
+        self.stats.accesses += 1
+        self.stats.scans += 1
+        self.stats.bytes_requested += relation_bytes
+        self.stats.bytes_missed += miss_bytes
+        return miss_bytes
+
+    def invalidate(self, relation: str) -> float:
+        """Drop all cached bytes of a relation (e.g. the table was dropped
+        at this replica because update filtering made it unnecessary).
+
+        Returns the number of bytes freed.
+        """
+        freed = self._resident.pop(relation, 0.0)
+        self._hot_set.pop(relation, None)
+        return freed
+
+    def warm(self, relation: str, resident_bytes: float, hot_set_bytes: Optional[float] = None) -> None:
+        """Pre-populate the cache (used by tests and warm-start experiments)."""
+        hot = hot_set_bytes if hot_set_bytes is not None else resident_bytes
+        if hot <= 0:
+            return
+        self._hot_set[relation] = max(self._hot_set.get(relation, 0.0), hot)
+        self._resident[relation] = min(float(resident_bytes), hot, float(self.capacity_bytes))
+        self._resident.move_to_end(relation)
+        self._evict_to_capacity(protect=relation)
+
+    def clear(self) -> None:
+        """Empty the pool (cold restart of a replica)."""
+        self._resident.clear()
+        self._hot_set.clear()
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def _evict_to_capacity(self, protect: Optional[str] = None) -> None:
+        """Evict bytes from least-recently-used relations until under capacity.
+
+        The most recently accessed relation (``protect``) is evicted last,
+        and only if it alone exceeds the pool capacity.
+        """
+        excess = self.resident_bytes - self.capacity_bytes
+        if excess <= 0:
+            return
+        for name in list(self._resident.keys()):
+            if excess <= 0:
+                break
+            if name == protect:
+                continue
+            resident = self._resident[name]
+            evicted = min(resident, excess)
+            self._resident[name] = resident - evicted
+            excess -= evicted
+            self.stats.evicted_bytes += evicted
+            if self._resident[name] <= 0:
+                del self._resident[name]
+        if excess > 0 and protect is not None and protect in self._resident:
+            # The protected relation alone overflows the pool: cap it.
+            resident = self._resident[protect]
+            evicted = min(resident, excess)
+            self._resident[protect] = resident - evicted
+            self.stats.evicted_bytes += evicted

@@ -1,0 +1,121 @@
+"""Database catalog: the metadata interface the load balancer queries.
+
+Section 4.2.2 of the paper describes how the Tashkent+ load balancer obtains
+working-set information from PostgreSQL:
+
+2. "The load balancer retrieves the database schema to find all tables and
+   their associated indices."
+3. "For each table or index, its size in pages is determined by the
+   PostgreSQL query ``SELECT relpages FROM pg_class WHERE relname='<name>'``.
+   Each page is 8KB."
+
+:class:`Catalog` is the equivalent interface in this reproduction.  It wraps
+a :class:`~repro.storage.relation.Schema` and answers exactly those two
+queries (``relations()`` and ``relpages()``), plus the growth/shrink
+monitoring hook the paper uses to decide when transaction groups need to be
+recomputed ("the state of the database is continuously monitored to create
+up-to-date estimates of the working sets using queries on metadata for the
+tables", Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.storage.pages import PAGE_SIZE_BYTES, pages_for_bytes
+from repro.storage.relation import Relation, RelationKind, Schema
+
+
+@dataclass
+class Catalog:
+    """Metadata view over a schema, with support for size growth over time.
+
+    The catalog keeps its own copy of per-relation sizes so that workload
+    growth (e.g. the TPC-W ``orders`` table growing as BuyConfirm
+    transactions commit) can be reflected without mutating the schema
+    object shared with other components.
+    """
+
+    schema: Schema
+    _sizes: Dict[str, int] = field(default_factory=dict)
+    _version: int = 0
+
+    def __post_init__(self) -> None:
+        if not self._sizes:
+            self._sizes = self.schema.sizes()
+
+    # ------------------------------------------------------------------
+    # The two queries the paper's load balancer issues.
+    # ------------------------------------------------------------------
+    def relations(self) -> List[Relation]:
+        """All tables and indices in the database (schema query)."""
+        return list(self.schema)
+
+    def relpages(self, name: str) -> int:
+        """``SELECT relpages FROM pg_class WHERE relname = :name``."""
+        if name not in self._sizes:
+            raise KeyError("unknown relation %r" % (name,))
+        return pages_for_bytes(self._sizes[name])
+
+    # ------------------------------------------------------------------
+    # Size accessors used by the storage engine and estimators.
+    # ------------------------------------------------------------------
+    def size_bytes(self, name: str) -> int:
+        if name not in self._sizes:
+            raise KeyError("unknown relation %r" % (name,))
+        return self._sizes[name]
+
+    def total_size_bytes(self) -> int:
+        return sum(self._sizes.values())
+
+    def tables(self) -> List[Relation]:
+        return [r for r in self.schema if r.is_table]
+
+    def indices_of(self, table_name: str) -> List[Relation]:
+        return self.schema.indices_of(table_name)
+
+    def get(self, name: str) -> Optional[Relation]:
+        return self.schema.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sizes
+
+    # ------------------------------------------------------------------
+    # Growth / shrinkage monitoring.
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonically increasing counter bumped on every size change.
+
+        The load balancer polls this to decide whether working sets must be
+        re-estimated and transaction groups re-formed.
+        """
+        return self._version
+
+    def grow(self, name: str, delta_bytes: int) -> None:
+        """Grow (or with a negative delta, shrink) a relation.
+
+        Sizes never drop below one page; a relation never disappears from
+        the catalog by shrinking.
+        """
+        if name not in self._sizes:
+            raise KeyError("unknown relation %r" % (name,))
+        new_size = max(PAGE_SIZE_BYTES, self._sizes[name] + delta_bytes)
+        if new_size != self._sizes[name]:
+            self._sizes[name] = new_size
+            self._version += 1
+
+    def set_size(self, name: str, size_bytes: int) -> None:
+        """Set an absolute relation size (used by tests and growth models)."""
+        if name not in self._sizes:
+            raise KeyError("unknown relation %r" % (name,))
+        if size_bytes < PAGE_SIZE_BYTES:
+            size_bytes = PAGE_SIZE_BYTES
+        if size_bytes != self._sizes[name]:
+            self._sizes[name] = size_bytes
+            self._version += 1
+
+    def snapshot_sizes(self) -> Dict[str, int]:
+        """A copy of the current relation sizes (name -> bytes)."""
+        return dict(self._sizes)

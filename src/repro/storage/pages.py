@@ -1,0 +1,63 @@
+"""Page and segment size constants and size arithmetic.
+
+The paper's prototype uses PostgreSQL, whose unit of storage and of buffer
+management is an 8 KB page.  Working-set estimates in the paper are computed
+from ``pg_class.relpages`` (the number of 8 KB pages of a table or index),
+and the disk I/O accounting in Tables 1, 3 and 5 is expressed in KB per
+transaction, where every dirty page is written back in full ("a database
+page must be written completely to disk whether one byte is dirty or all
+8KB are dirty", Section 5.5).
+
+The simulator does not track individual 8 KB pages of a multi-gigabyte
+database -- that would be millions of objects per replica.  Instead the
+buffer pool operates on *segments*: contiguous runs of pages of a single
+relation.  A segment is the unit of residency tracking; disk-read and
+disk-write volumes are still accounted in bytes and reported in pages.
+The default segment size (1 MB = 128 pages) is small enough that partial
+residency of large relations is modelled faithfully, and large enough that
+a 3 GB database is only a few thousand segments.
+"""
+
+from __future__ import annotations
+
+# PostgreSQL page size used by the paper's prototype (Section 4.2.2, item 3).
+PAGE_SIZE_BYTES: int = 8 * 1024
+
+# Unit of buffer-pool residency tracking in the simulator.
+SEGMENT_SIZE_BYTES: int = 1024 * 1024
+
+# Convenience multipliers.
+KB: int = 1024
+MB: int = 1024 * 1024
+GB: int = 1024 * 1024 * 1024
+
+
+def pages_for_bytes(num_bytes: float) -> int:
+    """Number of 8 KB pages needed to hold ``num_bytes`` (rounded up)."""
+    if num_bytes <= 0:
+        return 0
+    return int((num_bytes + PAGE_SIZE_BYTES - 1) // PAGE_SIZE_BYTES)
+
+
+def bytes_for_pages(num_pages: int) -> int:
+    """Size in bytes of ``num_pages`` 8 KB pages."""
+    if num_pages < 0:
+        raise ValueError("page count must be non-negative, got %r" % (num_pages,))
+    return num_pages * PAGE_SIZE_BYTES
+
+
+def segments_for_bytes(num_bytes: float, segment_size: int = SEGMENT_SIZE_BYTES) -> int:
+    """Number of segments needed to hold ``num_bytes`` (rounded up, >= 1 for any positive size)."""
+    if num_bytes <= 0:
+        return 0
+    return int((num_bytes + segment_size - 1) // segment_size)
+
+
+def mb(value: float) -> int:
+    """Bytes in ``value`` mebibytes (accepts fractional MB)."""
+    return int(value * MB)
+
+
+def gb(value: float) -> int:
+    """Bytes in ``value`` gibibytes (accepts fractional GB)."""
+    return int(value * GB)

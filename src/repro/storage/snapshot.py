@@ -1,0 +1,86 @@
+"""Snapshot bookkeeping for a single replica.
+
+Tashkent runs PostgreSQL at snapshot isolation and extends it to the
+replicated setting with *generalized snapshot isolation* (GSI): a
+transaction executes against a possibly slightly old snapshot of its local
+replica, and at commit time the certifier checks that no concurrent,
+already-committed transaction wrote an item the committing transaction also
+wrote (write-write conflict).
+
+The global side of the protocol -- certification, the commit log and the
+conflict check -- lives in :mod:`repro.replication.certifier`.  This module
+provides the *replica-local* bookkeeping: which global version the replica
+has applied so far, which snapshot version each in-flight transaction reads
+from, and helpers to decide whether a transaction's snapshot is stale with
+respect to a given committed version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class SnapshotManager:
+    """Tracks the applied version of a replica and per-transaction snapshots.
+
+    Versions are the global commit sequence numbers assigned by the
+    certifier.  ``applied_version`` is the index of the last writeset this
+    replica has applied; any transaction starting now observes a snapshot at
+    that version ("the state of any replica is always a consistent prefix of
+    the certifier's log", Section 4.1).
+    """
+
+    applied_version: int = 0
+    _snapshots: Dict[int, int] = field(default_factory=dict)
+    _last_session_version: Dict[str, int] = field(default_factory=dict)
+
+    def begin(self, txn_id: int, session: Optional[str] = None) -> int:
+        """Record the snapshot version for a starting transaction.
+
+        With session consistency (Section 4.2.1) a client session must not
+        observe a snapshot older than the last version it has itself seen;
+        if the replica lags behind the session, the transaction still starts
+        but its snapshot is pinned to the session's version, modelling the
+        wait-or-redirect behaviour of the prototype.
+        """
+        snapshot = self.applied_version
+        if session is not None:
+            snapshot = max(snapshot, self._last_session_version.get(session, 0))
+        self._snapshots[txn_id] = snapshot
+        return snapshot
+
+    def snapshot_of(self, txn_id: int) -> int:
+        if txn_id not in self._snapshots:
+            raise KeyError("unknown transaction id %r" % (txn_id,))
+        return self._snapshots[txn_id]
+
+    def finish(self, txn_id: int, session: Optional[str] = None,
+               commit_version: Optional[int] = None) -> None:
+        """Forget a finished transaction and update its session's horizon."""
+        snapshot = self._snapshots.pop(txn_id, 0)
+        if session is not None:
+            seen = commit_version if commit_version is not None else snapshot
+            previous = self._last_session_version.get(session, 0)
+            if seen > previous:
+                self._last_session_version[session] = seen
+
+    def advance(self, version: int) -> None:
+        """Note that the replica has applied writesets up to ``version``."""
+        if version > self.applied_version:
+            self.applied_version = version
+
+    def lag(self, certified_version: int) -> int:
+        """How many committed writesets this replica has not yet applied."""
+        return max(0, certified_version - self.applied_version)
+
+    @property
+    def active_transactions(self) -> int:
+        return len(self._snapshots)
+
+    def oldest_active_snapshot(self) -> Optional[int]:
+        """The oldest snapshot still in use (bounds log truncation)."""
+        if not self._snapshots:
+            return None
+        return min(self._snapshots.values())

@@ -1,0 +1,109 @@
+"""Workload generation: sampling transaction types from (possibly changing) mixes.
+
+The generator provides two things the experiments need:
+
+* a stream of transaction-type names drawn from a mix (used by the
+  closed-loop client population in the simulator), and
+* a *schedule* of mix changes over simulated time, used by the dynamic
+  reconfiguration experiment (Figure 6: shopping -> browsing -> shopping,
+  2000 seconds each).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.workloads.spec import Mix, TransactionType, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class MixPhase:
+    """One phase of a workload schedule: a mix active from ``start_time`` on."""
+
+    start_time: float
+    mix_name: str
+
+    def __post_init__(self) -> None:
+        if self.start_time < 0:
+            raise ValueError("phase start time must be non-negative")
+
+
+class WorkloadSchedule:
+    """A time-ordered sequence of mix phases.
+
+    The schedule answers "which mix is active at time t?".  A schedule with a
+    single phase starting at time 0 is a constant workload.
+    """
+
+    def __init__(self, phases: Sequence[MixPhase]) -> None:
+        if not phases:
+            raise ValueError("a workload schedule needs at least one phase")
+        ordered = sorted(phases, key=lambda p: p.start_time)
+        if ordered[0].start_time != 0.0:
+            raise ValueError("the first phase must start at time 0")
+        starts = [p.start_time for p in ordered]
+        if len(set(starts)) != len(starts):
+            raise ValueError("phases must have distinct start times")
+        self.phases: Tuple[MixPhase, ...] = tuple(ordered)
+
+    @classmethod
+    def constant(cls, mix_name: str) -> "WorkloadSchedule":
+        return cls([MixPhase(0.0, mix_name)])
+
+    @classmethod
+    def alternating(cls, mix_names: Sequence[str], phase_length: float) -> "WorkloadSchedule":
+        """Phases of equal length cycling through ``mix_names`` once."""
+        if phase_length <= 0:
+            raise ValueError("phase length must be positive")
+        return cls([MixPhase(i * phase_length, name) for i, name in enumerate(mix_names)])
+
+    def mix_at(self, time: float) -> str:
+        """Name of the mix active at simulated time ``time``."""
+        active = self.phases[0].mix_name
+        for phase in self.phases:
+            if phase.start_time <= time:
+                active = phase.mix_name
+            else:
+                break
+        return active
+
+    def change_times(self) -> List[float]:
+        """Times at which the active mix changes (excludes time 0)."""
+        return [phase.start_time for phase in self.phases[1:]]
+
+
+@dataclass
+class WorkloadGenerator:
+    """Draws transaction types according to a workload spec and schedule."""
+
+    spec: WorkloadSpec
+    schedule: WorkloadSchedule
+    seed: int = 0
+    _rng: random.Random = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        for phase in self.schedule.phases:
+            # Fail fast on schedules that reference unknown mixes.
+            self.spec.mix(phase.mix_name)
+
+    @classmethod
+    def constant(cls, spec: WorkloadSpec, mix_name: str, seed: int = 0) -> "WorkloadGenerator":
+        return cls(spec=spec, schedule=WorkloadSchedule.constant(mix_name), seed=seed)
+
+    def mix_at(self, time: float) -> Mix:
+        return self.spec.mix(self.schedule.mix_at(time))
+
+    def next_type(self, time: float) -> TransactionType:
+        """Sample the transaction type of the next request issued at ``time``."""
+        mix = self.mix_at(time)
+        return self.spec.type(mix.sample(self._rng))
+
+    def sample_types(self, time: float, count: int) -> List[TransactionType]:
+        return [self.next_type(time) for _ in range(count)]
+
+    def update_fraction(self, time: float) -> float:
+        """Update fraction of the mix active at ``time``."""
+        return self.mix_at(time).update_fraction(self.spec.types)

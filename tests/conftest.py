@@ -1,0 +1,74 @@
+"""Shared fixtures: a small synthetic workload that runs fast in tests."""
+
+import pytest
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.catalog import Catalog
+from repro.storage.engine import DatabaseEngine, EngineConfig
+from repro.storage.pages import mb
+from repro.storage.planner import QueryPlanner
+from repro.storage.relation import Schema, index, table
+from repro.workloads.spec import Mix, WorkloadSpec, lookup, scan, transaction_type, write
+
+
+def make_tiny_schema():
+    return Schema.from_relations(
+        "tiny",
+        [
+            table("users", mb(40)),
+            index("users_pkey", "users", mb(4)),
+            table("orders", mb(60)),
+            index("orders_pkey", "orders", mb(6)),
+            table("items", mb(10)),
+            index("items_pkey", "items", mb(1)),
+            table("logs", mb(80)),
+        ],
+    )
+
+
+def make_tiny_workload():
+    schema = make_tiny_schema()
+    types = {
+        "Read": transaction_type(
+            "Read", reads=[lookup("users", pages=2), lookup("items", pages=2)], cpu_ms=4.0),
+        "Scan": transaction_type(
+            "Scan", reads=[scan("items"), lookup("users", pages=2)], cpu_ms=8.0),
+        "Big": transaction_type(
+            "Big", reads=[lookup("logs", pages=100, selectivity=0.8), scan("items")], cpu_ms=12.0),
+        "Write": transaction_type(
+            "Write",
+            reads=[lookup("orders", pages=2), lookup("users", pages=1)],
+            writes=[write("orders", rows=1, bytes_per_row=100, pages_dirtied=1)],
+            cpu_ms=6.0),
+    }
+    mixes = {
+        "balanced": Mix("balanced", {"Read": 40, "Scan": 25, "Big": 5, "Write": 30}),
+        "readonly": Mix("readonly", {"Read": 60, "Scan": 35, "Big": 5}),
+    }
+    return WorkloadSpec(name="tiny", schema=schema, types=types, mixes=mixes)
+
+
+@pytest.fixture
+def tiny_schema():
+    return make_tiny_schema()
+
+
+@pytest.fixture
+def tiny_workload():
+    return make_tiny_workload()
+
+
+@pytest.fixture
+def tiny_catalog(tiny_schema):
+    return Catalog(schema=tiny_schema)
+
+
+@pytest.fixture
+def tiny_planner(tiny_catalog):
+    return QueryPlanner(catalog=tiny_catalog)
+
+
+@pytest.fixture
+def tiny_engine(tiny_catalog):
+    pool = BufferPool(capacity_bytes=mb(32))
+    return DatabaseEngine(catalog=tiny_catalog, buffer_pool=pool, config=EngineConfig())

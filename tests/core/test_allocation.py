@@ -1,0 +1,137 @@
+"""Tests for the utilisation-based replica allocator (Section 2.4)."""
+
+import pytest
+
+from repro.core.allocation import ReplicaAllocator
+from repro.core.grouping import TransactionGroup
+from repro.sim.monitor import LoadSample
+
+
+def group(gid, types=None, size=100):
+    return TransactionGroup(group_id=gid, type_names=types or [gid],
+                            relation_bytes={gid: size}, estimated_bytes=size)
+
+
+def loads_for(allocator, per_group):
+    """Build a replica->LoadSample map giving every replica of a group the same load."""
+    loads = {}
+    for gid, (cpu, disk) in per_group.items():
+        for rid in allocator.replicas_of(gid):
+            loads[rid] = LoadSample(cpu=cpu, disk=disk)
+    for rid in allocator.replica_ids:
+        loads.setdefault(rid, LoadSample())
+    return loads
+
+
+def test_initial_allocation_covers_all_replicas():
+    alloc = ReplicaAllocator([group("A"), group("B"), group("C")], replica_ids=range(8))
+    alloc.validate()
+    counts = alloc.replica_counts()
+    assert sum(counts.values()) == 8
+    assert all(count >= 1 for count in counts.values())
+
+
+def test_more_groups_than_replicas_rejected():
+    with pytest.raises(ValueError):
+        ReplicaAllocator([group("A"), group("B")], replica_ids=[0])
+
+
+def test_group_load_is_average_of_member_replicas():
+    alloc = ReplicaAllocator([group("A"), group("B")], replica_ids=range(4))
+    loads = loads_for(alloc, {"A": (0.4, 0.1), "B": (0.2, 0.6)})
+    load_a = alloc.group_load("A", loads)
+    assert load_a.cpu == pytest.approx(0.4)
+    assert load_a.bottleneck == pytest.approx(0.4)
+    assert alloc.group_load("B", loads).bottleneck == pytest.approx(0.6)
+
+
+def test_future_load_extrapolation():
+    alloc = ReplicaAllocator([group("A"), group("B")], replica_ids=range(6))
+    loads = loads_for(alloc, {"A": (0.46, 0.1), "B": (0.1, 0.1)})
+    load_a = alloc.group_load("A", loads)
+    # Paper example: 46% over 3 replicas -> 69% over 2.
+    assert load_a.future_bottleneck == pytest.approx(0.46 * load_a.replicas / (load_a.replicas - 1))
+
+
+def test_rebalance_moves_replica_to_loaded_group():
+    alloc = ReplicaAllocator([group("hot"), group("cold")], replica_ids=range(8),
+                             enable_merging=False, enable_fast_reallocation=False)
+    loads = loads_for(alloc, {"hot": (0.95, 0.2), "cold": (0.05, 0.05)})
+    before = alloc.replica_counts()
+    action = alloc.rebalance(loads)
+    after = alloc.replica_counts()
+    assert action.kind == "move"
+    assert after["hot"] == before["hot"] + 1
+    assert after["cold"] == before["cold"] - 1
+    alloc.validate()
+
+
+def test_hysteresis_blocks_marginal_moves():
+    alloc = ReplicaAllocator([group("a"), group("b")], replica_ids=range(8),
+                             enable_merging=False, enable_fast_reallocation=False)
+    loads = loads_for(alloc, {"a": (0.50, 0.1), "b": (0.45, 0.1)})
+    action = alloc.rebalance(loads)
+    assert action.kind == "none"
+
+
+def test_donor_never_drops_to_zero_replicas():
+    alloc = ReplicaAllocator([group("a"), group("b")], replica_ids=range(2),
+                             enable_merging=False, enable_fast_reallocation=False)
+    loads = loads_for(alloc, {"a": (1.0, 1.0), "b": (0.0, 0.0)})
+    alloc.rebalance(loads)
+    assert all(count >= 1 for count in alloc.replica_counts().values())
+
+
+def test_merging_of_underutilised_singletons():
+    groups = [group("busy"), group("idle1"), group("idle2")]
+    alloc = ReplicaAllocator(groups, replica_ids=range(3), enable_fast_reallocation=False)
+    loads = loads_for(alloc, {"busy": (0.9, 0.3), "idle1": (0.05, 0.02), "idle2": (0.04, 0.02)})
+    action = alloc.rebalance(loads)
+    assert action.kind == "merge"
+    assert len(alloc.shared_replicas()) == 1
+    assert len(alloc.replicas_of("busy")) == 2
+
+
+def test_split_when_shared_replica_becomes_hottest():
+    groups = [group("busy"), group("idle1"), group("idle2")]
+    alloc = ReplicaAllocator(groups, replica_ids=range(4), enable_fast_reallocation=False)
+    loads = loads_for(alloc, {"busy": (0.9, 0.3), "idle1": (0.05, 0.02), "idle2": (0.04, 0.02)})
+    alloc.rebalance(loads)                     # merge happens
+    shared = alloc.shared_replicas()[0]
+    loads = {rid: LoadSample(cpu=0.2, disk=0.2) for rid in alloc.replica_ids}
+    loads[shared] = LoadSample(cpu=0.99, disk=0.9)
+    action = alloc.rebalance(loads)
+    assert action.kind == "split"
+    assert alloc.shared_replicas() == []
+
+
+def test_fast_rebalance_solves_balance_equations():
+    alloc = ReplicaAllocator([group("M"), group("N")], replica_ids=range(10),
+                             enable_merging=False)
+    # Force the initial allocation into 3 / 7.
+    alloc.assignment["M"] = [0, 1, 2]
+    alloc.assignment["N"] = [3, 4, 5, 6, 7, 8, 9]
+    loads = {rid: LoadSample(cpu=0.70, disk=0.1) for rid in [0, 1, 2]}
+    loads.update({rid: LoadSample(cpu=0.10, disk=0.05) for rid in [3, 4, 5, 6, 7, 8, 9]})
+    action = alloc.fast_rebalance(loads)
+    counts = alloc.replica_counts()
+    # Paper example: needs 2.1 vs 0.7 -> 7 and 3 replicas after rounding.
+    assert counts["M"] == 7
+    assert counts["N"] == 3
+    assert action.moved_replicas >= 3
+
+
+def test_freeze_stops_reallocation():
+    alloc = ReplicaAllocator([group("hot"), group("cold")], replica_ids=range(4))
+    alloc.freeze()
+    loads = loads_for(alloc, {"hot": (1.0, 1.0), "cold": (0.0, 0.0)})
+    assert alloc.rebalance(loads).kind == "none"
+    alloc.unfreeze()
+    assert alloc.rebalance(loads).kind != "none"
+
+
+def test_validate_detects_corruption():
+    alloc = ReplicaAllocator([group("a"), group("b")], replica_ids=range(4))
+    alloc.assignment["a"] = []
+    with pytest.raises(AssertionError):
+        alloc.validate()

@@ -1,0 +1,34 @@
+"""Tests for the LoadBalancer base interface contract."""
+
+import pytest
+
+from repro.core.balancer import LoadBalancer
+from repro.core.baselines import LeastConnectionsBalancer, RoundRobinBalancer
+
+from tests.core.test_baselines import FakeView
+
+
+def test_dispatch_counts_are_tracked():
+    view = FakeView(2)
+    balancer = RoundRobinBalancer()
+    balancer.attach(view)
+    for _ in range(5):
+        balancer.dispatch(view.workload_spec.type("Read"))
+    assert balancer.dispatched == 5
+
+
+def test_default_hooks_are_neutral():
+    view = FakeView(2)
+    balancer = LeastConnectionsBalancer()
+    balancer.attach(view)
+    assert balancer.filter_tables(0) is None
+    assert balancer.preferred_relations(0) is None
+    balancer.observe_mix({"Read": 10})          # ignored by baselines
+    balancer.periodic(now=10.0)                  # no-op
+    balancer.on_complete(0, view.workload_spec.type("Read"))
+    assert balancer.describe() == "LeastConnections"
+
+
+def test_abstract_balancer_cannot_be_instantiated():
+    with pytest.raises(TypeError):
+        LoadBalancer()

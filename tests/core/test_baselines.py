@@ -1,0 +1,128 @@
+"""Tests for the baseline load balancers (round robin, least connections, LARD)."""
+
+from typing import Dict, List
+
+import pytest
+
+from repro.core.baselines import LardBalancer, LeastConnectionsBalancer, RoundRobinBalancer
+from repro.sim.monitor import LoadSample
+from repro.storage.catalog import Catalog
+from repro.storage.planner import QueryPlanner
+
+from tests.conftest import make_tiny_workload
+
+
+class FakeView:
+    """Minimal ClusterView for exercising policies without a simulator."""
+
+    def __init__(self, replicas=4):
+        self.workload_spec = make_tiny_workload()
+        self._catalog = Catalog(schema=self.workload_spec.schema)
+        self._planner = QueryPlanner(catalog=self._catalog)
+        self._replicas = list(range(replicas))
+        self.outstanding_map: Dict[int, int] = {rid: 0 for rid in self._replicas}
+
+    def replica_ids(self) -> List[int]:
+        return list(self._replicas)
+
+    def outstanding(self, rid: int) -> int:
+        return self.outstanding_map[rid]
+
+    def load(self, rid: int) -> LoadSample:
+        return LoadSample()
+
+    def replica_memory_bytes(self) -> int:
+        return 32 * 2**20
+
+    def catalog(self):
+        return self._catalog
+
+    def planner(self):
+        return self._planner
+
+    def workload(self):
+        return self.workload_spec
+
+
+def test_round_robin_cycles():
+    view = FakeView(3)
+    rr = RoundRobinBalancer()
+    rr.attach(view)
+    t = view.workload_spec.type("Read")
+    assert [rr.dispatch(t) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+
+def test_least_connections_picks_least_loaded():
+    view = FakeView(3)
+    lc = LeastConnectionsBalancer()
+    lc.attach(view)
+    view.outstanding_map.update({0: 5, 1: 2, 2: 7})
+    assert lc.dispatch(view.workload_spec.type("Read")) == 1
+
+
+def test_balancer_requires_attach():
+    lc = LeastConnectionsBalancer()
+    with pytest.raises(RuntimeError):
+        lc.choose_replica(make_tiny_workload().type("Read"))
+
+
+def test_lard_keeps_type_affinity_when_not_overloaded():
+    view = FakeView(4)
+    lard = LardBalancer(high_watermark=8)
+    lard.attach(view)
+    t = view.workload_spec.type("Read")
+    first = lard.dispatch(t)
+    assert all(lard.dispatch(t) == first for _ in range(5))
+    assert lard.server_sets()["Read"] == [first]
+
+
+def test_lard_spills_when_server_overloaded():
+    view = FakeView(4)
+    lard = LardBalancer(high_watermark=4)
+    lard.attach(view)
+    t = view.workload_spec.type("Read")
+    first = lard.dispatch(t)
+    view.outstanding_map[first] = 10          # overload the affinity server
+    second = lard.dispatch(t)
+    assert second != first
+    assert set(lard.server_sets()["Read"]) == {first, second}
+
+
+def test_lard_stops_expanding_when_all_replicas_busy():
+    view = FakeView(2)
+    lard = LardBalancer(high_watermark=4)
+    lard.attach(view)
+    t = view.workload_spec.type("Read")
+    first = lard.dispatch(t)
+    for rid in view.replica_ids():
+        view.outstanding_map[rid] = 10
+    assert lard.dispatch(t) == first          # "turns off" instead of spilling
+
+
+def test_lard_shrinks_idle_server_sets():
+    view = FakeView(4)
+    lard = LardBalancer(high_watermark=2, low_watermark=1)
+    lard.attach(view)
+    t = view.workload_spec.type("Read")
+    first = lard.dispatch(t)
+    view.outstanding_map[first] = 5
+    lard.dispatch(t)
+    assert len(lard.server_sets()["Read"]) == 2
+    view.outstanding_map = {rid: 0 for rid in view.replica_ids()}
+    lard.periodic(now=100.0)
+    assert len(lard.server_sets()["Read"]) == 1
+
+
+def test_lard_validates_watermarks():
+    with pytest.raises(ValueError):
+        LardBalancer(high_watermark=1, low_watermark=2)
+
+
+def test_different_types_can_use_different_replicas():
+    view = FakeView(4)
+    lard = LardBalancer()
+    lard.attach(view)
+    read_replica = lard.dispatch(view.workload_spec.type("Read"))
+    view.outstanding_map[read_replica] += 1
+    scan_replica = lard.dispatch(view.workload_spec.type("Scan"))
+    assert scan_replica != read_replica

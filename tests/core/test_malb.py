@@ -1,0 +1,88 @@
+"""Tests for the memory-aware load balancer against a real (small) cluster."""
+
+import pytest
+
+from repro.core.grouping import GroupingMethod
+from repro.core.malb import MemoryAwareLoadBalancer
+from repro.replication.cluster import ClusterConfig, ReplicatedCluster
+from repro.storage.pages import mb
+
+from tests.conftest import make_tiny_workload
+
+
+def small_cluster(balancer, replicas=4, ram_mb=128, mix="balanced", seed=3):
+    return ReplicatedCluster(
+        workload=make_tiny_workload(),
+        balancer=balancer,
+        config=ClusterConfig(num_replicas=replicas, replica_ram_bytes=mb(ram_mb),
+                             clients_per_replica=4, think_time_s=0.1, seed=seed),
+        mix=mix,
+    )
+
+
+def test_malb_builds_groups_on_attach():
+    malb = MemoryAwareLoadBalancer(method=GroupingMethod.MALB_SC)
+    small_cluster(malb)
+    assert malb.groups
+    assert set(malb.group_by_type) == set(make_tiny_workload().types)
+    assert sum(malb.replica_counts().values()) >= 4
+
+
+def test_malb_dispatches_within_group():
+    malb = MemoryAwareLoadBalancer(method=GroupingMethod.MALB_SC)
+    cluster = small_cluster(malb)
+    txn = make_tiny_workload().type("Big")
+    group_id = malb.group_by_type["Big"]
+    allowed = set(malb.allocator.replicas_of(group_id))
+    for _ in range(10):
+        assert malb.dispatch(txn) in allowed
+
+
+def test_malb_runs_and_reports_groupings():
+    malb = MemoryAwareLoadBalancer(method=GroupingMethod.MALB_SC)
+    cluster = small_cluster(malb)
+    result = cluster.run(duration_s=30.0, warmup_s=5.0)
+    assert result.throughput_tps > 0
+    assert result.groupings
+    assert sum(result.replica_counts.values()) >= 4
+
+
+def test_update_filtering_installs_filters_once_stable():
+    malb = MemoryAwareLoadBalancer(method=GroupingMethod.MALB_SC, update_filtering=True,
+                                   filtering_stabilization_s=5.0, rebalance_interval_s=5.0)
+    cluster = small_cluster(malb)
+    cluster.run(duration_s=60.0, warmup_s=10.0)
+    assert malb.filter_plan is not None
+    # At least one replica proxy actually received a filter list.
+    assert any(rep.proxy.filtering_enabled for rep in cluster.replicas.values())
+    # Allocation is frozen once filtering is on (Section 4.2.3).
+    assert malb.allocator.frozen
+
+
+def test_no_filtering_without_the_flag():
+    malb = MemoryAwareLoadBalancer(method=GroupingMethod.MALB_SC, update_filtering=False)
+    cluster = small_cluster(malb)
+    cluster.run(duration_s=30.0, warmup_s=5.0)
+    assert malb.filter_plan is None
+    assert all(rep.proxy.filter_tables is None for rep in cluster.replicas.values())
+
+
+def test_demand_targets_favour_frequent_types():
+    malb = MemoryAwareLoadBalancer(method=GroupingMethod.MALB_SC)
+    cluster = small_cluster(malb, replicas=6)
+    cluster.run(duration_s=40.0, warmup_s=5.0)
+    counts = malb.replica_counts()
+    # The group serving the dominant read types should hold at least as many
+    # replicas as the group serving the rare Big transaction.
+    read_group = malb.group_by_type["Read"]
+    big_group = malb.group_by_type["Big"]
+    if read_group != big_group:
+        assert counts[read_group] >= 1
+        assert sum(counts.values()) >= 6
+
+
+def test_describe_lists_groups():
+    malb = MemoryAwareLoadBalancer()
+    small_cluster(malb)
+    text = malb.describe()
+    assert "MALB-SC" in text

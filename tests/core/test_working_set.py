@@ -1,0 +1,39 @@
+"""Tests for working-set representations and combination rules."""
+
+import pytest
+
+from repro.core.working_set import (
+    WorkingSetEstimate, combined_size_no_overlap, combined_size_with_overlap, union_relation_bytes)
+
+
+def make(name, relations, scanned=()):
+    return WorkingSetEstimate(transaction_type=name, relation_bytes=relations,
+                              scanned=frozenset(scanned))
+
+
+def test_total_and_scanned_bytes():
+    e = make("T", {"a": 100, "b": 50}, scanned=["a"])
+    assert e.total_bytes == 150
+    assert e.scanned_bytes == 100
+    assert e.relations == {"a", "b"}
+    assert e.scanned_relation_bytes() == {"a": 100}
+
+
+def test_scanned_must_be_subset():
+    with pytest.raises(ValueError):
+        make("T", {"a": 1}, scanned=["b"])
+
+
+def test_paper_overlap_example():
+    # Section 2.3: T1 uses A and B, T2 uses B and C.
+    t1 = make("T1", {"A": 10, "B": 20})
+    t2 = make("T2", {"B": 20, "C": 30})
+    assert combined_size_no_overlap([t1, t2]) == 10 + 2 * 20 + 30
+    assert combined_size_with_overlap([t1, t2]) == 10 + 20 + 30
+    assert t1.overlap_bytes(t2) == 20
+
+
+def test_union_takes_max_size_per_relation():
+    t1 = make("T1", {"A": 10})
+    t2 = make("T2", {"A": 25, "B": 5})
+    assert union_relation_bytes([t1, t2]) == {"A": 25, "B": 5}

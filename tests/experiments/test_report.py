@@ -1,0 +1,47 @@
+"""Tests for report formatting helpers."""
+
+from repro.experiments.report import (
+    format_bar_chart, format_grouping_table, format_io_table, format_result_table, shape_check)
+from repro.experiments.runner import ExperimentConfig, ExperimentResult
+
+
+def result(policy, tps, read_kb=10.0, write_kb=5.0):
+    return ExperimentResult(
+        config=ExperimentConfig(name="t", policy=policy),
+        throughput_tps=tps, response_time_s=0.5,
+        read_kb_per_txn=read_kb, write_kb_per_txn=write_kb)
+
+
+def test_result_table_includes_paper_column():
+    text = format_result_table([result("LeastConnections", 40.0), result("MALB-SC", 80.0)],
+                               paper_tps={"LeastConnections": 37, "MALB-SC": 76}, title="Figure 3")
+    assert "Figure 3" in text and "MALB-SC" in text and "76" in text
+
+
+def test_io_table_reports_read_fractions():
+    text = format_io_table([result("LeastConnections", 40.0, read_kb=72.0),
+                            result("MALB-SC", 80.0, read_kb=20.0)],
+                           paper_io={"MALB-SC": {"write": 12, "read": 20}})
+    assert "read fraction" in text
+    assert "0.28" in text
+
+
+def test_grouping_table_renders_measured_and_paper_groupings():
+    text = format_grouping_table({"G0": ["BestSellers"], "G1": ["Home", "Search"]},
+                                 {"G0": 2, "G1": 1},
+                                 paper_groupings=[(["BestSellers"], 2)])
+    assert "BestSellers" in text and "paper grouping" in text
+
+
+def test_bar_chart_scales_to_peak():
+    text = format_bar_chart({"a": 10.0, "b": 20.0}, title="chart")
+    lines = text.splitlines()
+    assert lines[0] == "chart"
+    assert lines[2].count("#") > lines[1].count("#")
+
+
+def test_shape_check_detects_violations():
+    results = [result("LeastConnections", 100.0), result("MALB-SC", 50.0)]
+    problems = shape_check(results, ["LeastConnections", "MALB-SC"])
+    assert problems
+    assert shape_check(results, ["MALB-SC", "LeastConnections"]) == []

@@ -1,0 +1,76 @@
+"""Tests for the experiment runner and configurations."""
+
+import pytest
+
+from repro.experiments.configs import (
+    EXPERIMENT_INDEX, PAPER_FIGURES, figure10_configs, figure3_configs, figure5_configs,
+    figure6_configs, figure7_configs, figure8_configs)
+from repro.experiments.runner import (
+    ExperimentConfig, build_cluster, make_balancer, make_cluster_config, make_workload,
+    run_experiment)
+
+
+def test_policy_and_workload_validation():
+    with pytest.raises(ValueError):
+        ExperimentConfig(name="x", policy="Nope")
+    with pytest.raises(ValueError):
+        ExperimentConfig(name="x", workload="mysql")
+    with pytest.raises(ValueError):
+        ExperimentConfig(name="x", db_label="HugeDB")
+
+
+def test_make_balancer_covers_all_policies():
+    for policy in ("RoundRobin", "LeastConnections", "LARD", "MALB-S", "MALB-SC",
+                   "MALB-SCAP", "MALB-SC+UF", "Single"):
+        balancer = make_balancer(policy)
+        assert balancer is not None
+    with pytest.raises(ValueError):
+        make_balancer("Bogus")
+
+
+def test_single_policy_uses_one_replica_with_1gb():
+    config = make_cluster_config(ExperimentConfig(name="x", policy="Single"))
+    assert config.num_replicas == 1
+    assert config.replica_ram_bytes == 1024 * 2**20
+
+
+def test_make_workload_builds_both_benchmarks():
+    tpcw = make_workload(ExperimentConfig(name="x", workload="tpcw", db_label="SmallDB"))
+    rubis = make_workload(ExperimentConfig(name="x", workload="rubis"))
+    assert len(tpcw.types) == 14
+    assert len(rubis.types) == 17
+
+
+def test_figure_config_lists_have_expected_policies():
+    assert [c.policy for c in figure3_configs()] == ["Single", "LeastConnections", "LARD", "MALB-SC"]
+    assert [c.policy for c in figure7_configs()][-1] == "MALB-SC+UF"
+    assert len(figure5_configs()) == 5
+    assert len(figure8_configs()) == 9
+    assert len(figure10_configs()) == 81
+    assert len(figure6_configs()) == 3
+
+
+def test_experiment_index_covers_all_paper_artifacts():
+    for key in ("figure3", "figure4", "figure5", "figure6", "figure7", "figure8",
+                "figure9", "figure10", "table1", "table2", "table3", "table4", "table5"):
+        assert key in EXPERIMENT_INDEX
+    assert "figure3" in PAPER_FIGURES and "table5" in PAPER_FIGURES
+
+
+def test_run_small_experiment_end_to_end():
+    config = ExperimentConfig(name="smoke", policy="LeastConnections", db_label="SmallDB",
+                              mix="browsing", num_replicas=2, clients_per_replica=4,
+                              duration_s=30.0, warmup_s=10.0)
+    result = run_experiment(config)
+    assert result.throughput_tps > 0
+    assert result.read_kb_per_txn >= 0
+    assert result.config is config
+
+
+def test_build_cluster_uses_schedule_phases():
+    config = ExperimentConfig(name="sched", policy="LeastConnections", num_replicas=2,
+                              schedule_phases=("shopping", "browsing"),
+                              schedule_phase_length_s=50.0,
+                              duration_s=100.0, warmup_s=10.0)
+    cluster = build_cluster(config)
+    assert cluster.schedule.mix_at(75.0) == "browsing"

@@ -1,0 +1,94 @@
+"""Unit and property tests for the certifier."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.replication.certifier import Certifier
+from repro.storage.engine import WriteItem, WriteSet
+
+
+def ws(table, keys, txn="T"):
+    return WriteSet(transaction_type=txn,
+                    items=(WriteItem(relation=table, keys=tuple(keys), payload_bytes=100,
+                                     pages_dirtied=1),))
+
+
+def test_commit_assigns_increasing_versions():
+    cert = Certifier()
+    r1 = cert.certify(ws("a", [1]), snapshot_version=0)
+    r2 = cert.certify(ws("a", [2]), snapshot_version=1)
+    assert r1.committed and r2.committed
+    assert (r1.version, r2.version) == (1, 2)
+    assert cert.log_is_total_order()
+
+
+def test_write_write_conflict_aborts():
+    cert = Certifier()
+    cert.certify(ws("a", [7]), snapshot_version=0)
+    result = cert.certify(ws("a", [7]), snapshot_version=0)   # stale snapshot, same key
+    assert not result.committed
+    assert result.conflict_with == 1
+    assert cert.stats.aborts == 1
+
+
+def test_no_conflict_when_snapshot_is_current():
+    cert = Certifier()
+    cert.certify(ws("a", [7]), snapshot_version=0)
+    result = cert.certify(ws("a", [7]), snapshot_version=1)   # saw the first commit
+    assert result.committed
+
+
+def test_disjoint_keys_do_not_conflict():
+    cert = Certifier()
+    cert.certify(ws("a", [1]), snapshot_version=0)
+    assert cert.certify(ws("a", [2]), snapshot_version=0).committed
+    assert cert.certify(ws("b", [1]), snapshot_version=0).committed
+
+
+def test_writesets_since_and_lag_notifications():
+    cert = Certifier(lag_notification_threshold=3)
+    for i in range(5):
+        cert.certify(ws("a", [i]), snapshot_version=i)
+    entries = cert.writesets_since(2)
+    assert [e.version for e in entries] == [3, 4, 5]
+    assert cert.writesets_since(2, limit=1)[0].version == 3
+    assert cert.should_notify(replica_applied_version=1)
+    assert not cert.should_notify(replica_applied_version=4)
+
+
+def test_truncation_and_recovery_boundary():
+    cert = Certifier()
+    for i in range(10):
+        cert.certify(ws("a", [i]), snapshot_version=i)
+    dropped = cert.truncate(oldest_needed_version=5)
+    assert dropped == 5
+    assert [e.version for e in cert.writesets_since(5)] == [6, 7, 8, 9, 10]
+    with pytest.raises(KeyError):
+        cert.writesets_since(2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["t1", "t2", "t3"]),
+                          st.integers(min_value=0, max_value=5)),
+                min_size=1, max_size=40))
+def test_log_is_always_a_dense_total_order(operations):
+    cert = Certifier()
+    for table, key in operations:
+        snapshot = cert.current_version
+        cert.certify(ws(table, [key]), snapshot_version=snapshot)
+    assert cert.log_is_total_order()
+    assert cert.stats.commits == len(cert.log)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=30))
+def test_conflicting_concurrent_writesets_never_both_commit(keys):
+    cert = Certifier()
+    committed_keys = {}
+    for key in keys:
+        snapshot = 0                      # everyone runs against the initial snapshot
+        result = cert.certify(ws("t", [key]), snapshot_version=snapshot)
+        if result.committed:
+            # a second commit of the same key from snapshot 0 must be impossible
+            assert key not in committed_keys
+            committed_keys[key] = result.version

@@ -1,0 +1,95 @@
+"""Integration tests for the replicated cluster."""
+
+import pytest
+
+from repro.core.baselines import LeastConnectionsBalancer, RoundRobinBalancer
+from repro.core.malb import MemoryAwareLoadBalancer
+from repro.replication.cluster import ClusterConfig, ReplicatedCluster, standalone_config
+from repro.storage.pages import mb
+from repro.workloads.generator import WorkloadSchedule
+
+from tests.conftest import make_tiny_workload
+
+
+def make_cluster(balancer=None, replicas=4, mix="balanced", **kwargs):
+    config = ClusterConfig(num_replicas=replicas, replica_ram_bytes=mb(128),
+                           clients_per_replica=4, think_time_s=0.1, seed=2, **kwargs)
+    return ReplicatedCluster(workload=make_tiny_workload(),
+                             balancer=balancer or LeastConnectionsBalancer(),
+                             config=config, mix=mix)
+
+
+def test_cluster_runs_and_produces_metrics():
+    cluster = make_cluster()
+    result = cluster.run(duration_s=30.0, warmup_s=5.0)
+    assert result.throughput_tps > 0
+    assert result.metrics.completed > 50
+    assert result.response_time_s > 0
+    assert result.policy == "LeastConnections"
+
+
+def test_all_replicas_receive_work_under_least_connections():
+    cluster = make_cluster(replicas=4)
+    result = cluster.run(duration_s=30.0, warmup_s=5.0)
+    assert set(result.metrics.completions_by_replica()) == {0, 1, 2, 3}
+
+
+def test_updates_propagate_to_all_replicas():
+    cluster = make_cluster(replicas=3)
+    cluster.run(duration_s=30.0, warmup_s=5.0)
+    version = cluster.certifier.current_version
+    assert version > 0
+    for replica in cluster.replicas.values():
+        assert version - replica.proxy.applied_version <= 30
+
+
+def test_update_fraction_matches_mix():
+    cluster = make_cluster()
+    result = cluster.run(duration_s=40.0, warmup_s=5.0)
+    assert result.metrics.update_fraction() == pytest.approx(0.30, abs=0.06)
+
+
+def test_cluster_requires_mix_or_schedule():
+    with pytest.raises(ValueError):
+        ReplicatedCluster(workload=make_tiny_workload(), balancer=RoundRobinBalancer(),
+                          config=ClusterConfig(num_replicas=1, replica_ram_bytes=mb(128)))
+
+
+def test_schedule_switches_mix_during_run():
+    cluster = ReplicatedCluster(
+        workload=make_tiny_workload(),
+        balancer=LeastConnectionsBalancer(),
+        config=ClusterConfig(num_replicas=2, replica_ram_bytes=mb(128),
+                             clients_per_replica=4, think_time_s=0.1),
+        schedule=WorkloadSchedule.alternating(["readonly", "balanced"], 20.0),
+    )
+    result = cluster.run(duration_s=40.0, warmup_s=0.0)
+    updates = [r for r in result.metrics.records if r.is_update]
+    assert updates                                  # updates appear only in phase 2
+    assert min(r.time for r in updates) >= 19.0
+
+
+def test_standalone_config_is_single_replica():
+    config = standalone_config()
+    assert config.num_replicas == 1
+    assert config.replica_ram_bytes == mb(1024)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(num_replicas=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(replica_ram_bytes=mb(10))
+    with pytest.raises(ValueError):
+        ClusterConfig(clients_per_replica=0)
+    with pytest.raises(ValueError):
+        make_cluster().run(duration_s=10.0, warmup_s=20.0)
+
+
+def test_malb_cluster_installs_view_correctly():
+    malb = MemoryAwareLoadBalancer()
+    cluster = make_cluster(balancer=malb)
+    assert cluster.replica_memory_bytes() == mb(128) - mb(70)
+    assert malb.view is cluster
+    result = cluster.run(duration_s=20.0, warmup_s=5.0)
+    assert result.groupings

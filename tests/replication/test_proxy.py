@@ -1,0 +1,59 @@
+"""Tests for the replica proxy: admission control and filtering state."""
+
+import pytest
+
+from repro.replication.proxy import AdmissionController, ProxyConfig, ReplicaProxy
+
+
+def test_admission_limits_concurrency():
+    started = []
+    ac = AdmissionController(max_concurrency=2)
+    for i in range(4):
+        ac.admit(lambda i=i: started.append(i))
+    assert started == [0, 1]
+    assert ac.queued == 2
+    ac.release()
+    assert started == [0, 1, 2]
+    ac.release()
+    ac.release()
+    assert started == [0, 1, 2, 3]
+
+
+def test_release_without_admit_raises():
+    ac = AdmissionController(1)
+    with pytest.raises(RuntimeError):
+        ac.release()
+
+
+def test_invalid_configs():
+    with pytest.raises(ValueError):
+        AdmissionController(0)
+    with pytest.raises(ValueError):
+        ProxyConfig(max_concurrency=0)
+    with pytest.raises(ValueError):
+        ProxyConfig(pull_interval_s=0)
+    with pytest.raises(ValueError):
+        ProxyConfig(certification_latency_s=-1)
+
+
+def test_filtering_decisions():
+    proxy = ReplicaProxy(0)
+    assert proxy.should_apply("anything")
+    proxy.set_filter({"orders"})
+    assert proxy.filtering_enabled
+    assert proxy.should_apply("orders")
+    assert not proxy.should_apply("users")
+    proxy.set_filter(None)
+    assert not proxy.filtering_enabled
+    assert proxy.should_apply("users")
+
+
+def test_propagation_cursor_is_monotonic():
+    proxy = ReplicaProxy(0)
+    proxy.advance(5)
+    proxy.advance(3)
+    assert proxy.applied_version == 5
+    proxy.record_application(True)
+    proxy.record_application(False)
+    assert proxy.writesets_applied == 1
+    assert proxy.writesets_filtered == 1

@@ -1,0 +1,60 @@
+"""Tests for replica and certifier recovery."""
+
+import pytest
+
+from repro.replication.certifier import Certifier
+from repro.replication.recovery import ReplicatedCertifierLog, recover_replica, recovery_replay_plan
+from repro.storage.engine import WriteItem, WriteSet
+
+from tests.replication.test_replica import make_replica
+from repro.sim.simulator import Simulator
+
+
+def ws(table, key):
+    return WriteSet(transaction_type="T",
+                    items=(WriteItem(relation=table, keys=(key,), payload_bytes=50, pages_dirtied=1),))
+
+
+def test_replicated_log_mirrors_commits_and_fails_over():
+    log = ReplicatedCertifierLog.create(num_backups=2)
+    for i in range(5):
+        log.certify(ws("a", i), snapshot_version=i)
+    assert log.current_version == 5
+    old_leader = log.leader
+    new_leader = log.fail_over()
+    assert new_leader is not old_leader
+    assert new_leader.current_version == 5
+
+
+def test_fail_over_without_backups_raises():
+    log = ReplicatedCertifierLog.create(num_backups=0)
+    with pytest.raises(RuntimeError):
+        log.fail_over()
+
+
+def test_recover_replica_replays_missed_writesets():
+    sim = Simulator()
+    certifier = Certifier()
+    _, _, workload, origin = make_replica(0, sim, certifier)
+    _, _, _, crashed = make_replica(1, sim, certifier)
+    for _ in range(3):
+        origin.submit(workload.type("Write"), submitted_at=0.0, on_done=lambda ok: None)
+    sim.run()
+    # The crashed replica lost its cache and was behind.
+    assert crashed.lag == 3
+    assert len(recovery_replay_plan(certifier, crashed.proxy.applied_version)) == 3
+    replayed = recover_replica(crashed, certifier)
+    assert replayed == 3
+    assert crashed.lag == 0
+
+
+def test_recovery_restores_dropped_tables_and_clears_filters():
+    sim = Simulator()
+    certifier = Certifier()
+    _, _, workload, replica = make_replica(0, sim, certifier)
+    replica.engine.drop_table("orders")
+    replica.proxy.set_filter({"users"})
+    recover_replica(replica, certifier)
+    assert replica.engine.dropped_tables == set()
+    assert replica.proxy.filter_tables is None
+    assert replica.engine.buffer_pool.resident_bytes == 0.0

@@ -1,0 +1,97 @@
+"""Tests for the replica's transaction pipeline and update propagation."""
+
+import pytest
+
+from repro.replication.certifier import Certifier
+from repro.replication.replica import Replica
+from repro.sim.metrics import MetricsCollector
+from repro.sim.resources import ReplicaResources
+from repro.sim.simulator import Simulator
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.catalog import Catalog
+from repro.storage.engine import DatabaseEngine
+from repro.storage.pages import mb
+
+from tests.conftest import make_tiny_workload
+
+
+def make_replica(replica_id=0, sim=None, certifier=None):
+    sim = sim or Simulator()
+    certifier = certifier or Certifier()
+    workload = make_tiny_workload()
+    catalog = Catalog(schema=workload.schema)
+    engine = DatabaseEngine(catalog=catalog, buffer_pool=BufferPool(mb(64)))
+    replica = Replica(replica_id=replica_id, sim=sim, engine=engine,
+                      resources=ReplicaResources.create(sim, replica_id),
+                      certifier=certifier)
+    replica.metrics = MetricsCollector()
+    return sim, certifier, workload, replica
+
+
+def test_read_only_transaction_completes_locally():
+    sim, certifier, workload, replica = make_replica()
+    outcomes = []
+    replica.submit(workload.type("Read"), submitted_at=0.0, on_done=outcomes.append)
+    sim.run()
+    assert outcomes == [True]
+    assert certifier.stats.requests == 0
+    assert replica.metrics.completed == 1
+
+
+def test_update_transaction_is_certified_and_logged():
+    sim, certifier, workload, replica = make_replica()
+    outcomes = []
+    replica.submit(workload.type("Write"), submitted_at=0.0, on_done=outcomes.append)
+    sim.run()
+    assert outcomes == [True]
+    assert certifier.current_version == 1
+    assert replica.proxy.applied_version == 1
+    assert replica.committed_updates == 1
+
+
+def test_remote_writesets_are_applied_and_charged():
+    sim = Simulator()
+    certifier = Certifier()
+    _, _, workload, origin = make_replica(0, sim, certifier)
+    _, _, _, other = make_replica(1, sim, certifier)
+    origin.submit(workload.type("Write"), submitted_at=0.0, on_done=lambda ok: None)
+    sim.run()
+    assert other.lag == 1
+    fetched = other.pull_updates()
+    assert fetched == 1
+    assert other.proxy.applied_version == 1
+    assert other.proxy.writesets_applied == 1
+    assert other.resources.disk.requests + other.resources.disk.background_requests >= 1
+
+
+def test_filtered_replica_skips_foreign_tables():
+    sim = Simulator()
+    certifier = Certifier()
+    _, _, workload, origin = make_replica(0, sim, certifier)
+    _, _, _, other = make_replica(1, sim, certifier)
+    other.proxy.set_filter({"users"})          # Write touches only "orders"
+    origin.submit(workload.type("Write"), submitted_at=0.0, on_done=lambda ok: None)
+    sim.run()
+    other.pull_updates()
+    assert other.proxy.writesets_filtered == 1
+    assert other.proxy.applied_version == 1    # cursor still advances
+
+
+def test_origin_replica_does_not_reapply_its_own_writeset():
+    sim, certifier, workload, replica = make_replica()
+    replica.submit(workload.type("Write"), submitted_at=0.0, on_done=lambda ok: None)
+    sim.run()
+    applied_before = replica.engine.writesets_applied
+    replica.pull_updates()
+    assert replica.engine.writesets_applied == applied_before
+
+
+def test_admission_queues_beyond_max_concurrency():
+    sim, certifier, workload, replica = make_replica()
+    replica.proxy.admission.max_concurrency = 1
+    done = []
+    for _ in range(3):
+        replica.submit(workload.type("Read"), submitted_at=0.0, on_done=done.append)
+    assert replica.proxy.admission.queued == 2
+    sim.run()
+    assert done == [True, True, True]

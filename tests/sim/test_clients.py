@@ -1,0 +1,52 @@
+"""Tests for the closed-loop client population."""
+
+import pytest
+
+from repro.sim.clients import ClientConfig, ClientPopulation
+from repro.sim.simulator import Simulator
+from repro.workloads.generator import WorkloadGenerator
+
+
+def _population(tiny_workload, clients=4, think=0.1, service=0.05):
+    sim = Simulator()
+    gen = WorkloadGenerator.constant(tiny_workload, "balanced", seed=1)
+    completed = []
+
+    def submit(txn_type, client_id, done):
+        completed.append(txn_type.name)
+        sim.schedule(service, done)
+
+    pop = ClientPopulation(sim, ClientConfig(clients=clients, think_time_s=think, seed=1), gen, submit)
+    return sim, pop, completed
+
+
+def test_clients_issue_and_complete(tiny_workload):
+    sim, pop, completed = _population(tiny_workload)
+    pop.start()
+    sim.run_until(10.0)
+    assert pop.requests_completed > 50
+    assert pop.outstanding <= 4
+    assert len(completed) == pop.requests_issued
+
+
+def test_closed_loop_bounded_by_clients(tiny_workload):
+    sim, pop, _ = _population(tiny_workload, clients=2, think=0.0, service=1.0)
+    pop.start()
+    sim.run_until(10.0)
+    # 2 clients, 1 second service, zero think: at most ~20 completions.
+    assert pop.requests_completed <= 22
+
+
+def test_start_is_idempotent(tiny_workload):
+    sim, pop, _ = _population(tiny_workload)
+    pop.start()
+    pop.start()
+    sim.run_until(1.0)
+    assert pop.requests_issued <= 4 * 12
+
+
+def test_invalid_client_config():
+    with pytest.raises(ValueError):
+        ClientConfig(clients=0)
+    with pytest.raises(ValueError):
+        ClientConfig(clients=1, think_time_s=-0.1)

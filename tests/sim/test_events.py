@@ -1,0 +1,48 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+def test_events_pop_in_time_order():
+    q = EventQueue()
+    order = []
+    q.push(2.0, lambda: order.append("b"))
+    q.push(1.0, lambda: order.append("a"))
+    q.push(3.0, lambda: order.append("c"))
+    while q:
+        q.pop().callback()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo():
+    q = EventQueue()
+    order = []
+    for name in "abc":
+        q.push(1.0, lambda n=name: order.append(n))
+    while q:
+        q.pop().callback()
+    assert order == ["a", "b", "c"]
+
+
+def test_cancellation_is_lazy():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    e.cancel()
+    assert len(q) == 1
+    assert q.peek_time() == 2.0
+
+
+def test_negative_time_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.push(-1.0, lambda: None)
+
+
+def test_empty_queue_behaviour():
+    q = EventQueue()
+    assert q.pop() is None
+    assert q.peek_time() is None
+    assert not q

@@ -1,0 +1,82 @@
+"""Tests for throughput / response-time / disk-I/O metrics."""
+
+import pytest
+
+from repro.sim.metrics import MetricsCollector
+
+
+def _record(m, time, **kwargs):
+    defaults = dict(transaction_type="T", replica_id=0, response_time=0.1,
+                    is_update=False, read_bytes=0.0, write_bytes=0.0)
+    defaults.update(kwargs)
+    m.record_completion(time=time, **defaults)
+
+
+def test_throughput_excludes_warmup():
+    m = MetricsCollector(warmup_seconds=10.0)
+    for t in range(5, 30):
+        _record(m, float(t))
+    assert m.completed == 20                    # t=10..29 included, end_time=29
+    assert m.throughput_tps() == pytest.approx(20 / 19.0)
+
+
+def test_response_time_and_update_fraction():
+    m = MetricsCollector()
+    _record(m, 1.0, response_time=1.0, is_update=True)
+    _record(m, 2.0, response_time=3.0)
+    assert m.average_response_time() == pytest.approx(2.0)
+    assert m.update_fraction() == pytest.approx(0.5)
+
+
+def test_disk_io_per_transaction_includes_background():
+    m = MetricsCollector()
+    _record(m, 1.0, read_bytes=8192.0, write_bytes=8192.0)
+    _record(m, 2.0, read_bytes=0.0, write_bytes=0.0)
+    m.record_background_io(3.0, replica_id=1, read_bytes=8192.0, write_bytes=16384.0)
+    assert m.read_kb_per_transaction() == pytest.approx(8.0)
+    assert m.write_kb_per_transaction() == pytest.approx(12.0)
+
+
+def test_background_io_respects_warmup():
+    m = MetricsCollector(warmup_seconds=10.0)
+    m.record_background_io(5.0, replica_id=0, read_bytes=1e6, write_bytes=1e6)
+    _record(m, 11.0)
+    assert m.read_kb_per_transaction() == 0.0
+
+
+def test_breakdowns():
+    m = MetricsCollector()
+    _record(m, 1.0, replica_id=0, transaction_type="A")
+    _record(m, 2.0, replica_id=1, transaction_type="B")
+    _record(m, 3.0, replica_id=1, transaction_type="B")
+    assert m.completions_by_replica() == {0: 1, 1: 2}
+    assert m.completions_by_type() == {"A": 1, "B": 2}
+    assert m.throughput_by_replica()[1] == pytest.approx(2 / 3.0)
+
+
+def test_throughput_series_and_moving_average():
+    m = MetricsCollector(bucket_seconds=10.0)
+    for t in range(0, 100):
+        _record(m, float(t))
+    series = m.throughput_series()
+    assert len(series) == 10
+    assert series[0].throughput_tps == pytest.approx(1.0)
+    avg = m.moving_average_series(window_buckets=3)
+    assert len(avg) == len(series)
+    with pytest.raises(ValueError):
+        m.moving_average_series(0)
+
+
+def test_empty_collector_is_safe():
+    m = MetricsCollector()
+    assert m.throughput_tps() == 0.0
+    assert m.average_response_time() == 0.0
+    assert m.read_kb_per_transaction() == 0.0
+    assert m.throughput_series() == []
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        MetricsCollector(warmup_seconds=-1)
+    with pytest.raises(ValueError):
+        MetricsCollector(bucket_seconds=0)

@@ -1,0 +1,58 @@
+"""Tests for the load-monitoring daemons."""
+
+import pytest
+
+from repro.sim.monitor import ClusterMonitor, LoadSample, ReplicaMonitor
+from repro.sim.resources import ReplicaResources
+from repro.sim.simulator import Simulator
+
+
+def test_load_sample_bottleneck():
+    assert LoadSample(cpu=0.3, disk=0.8).bottleneck == 0.8
+    assert LoadSample(cpu=0.9, disk=0.1).bottleneck == 0.9
+
+
+def test_monitor_measures_utilisation():
+    sim = Simulator()
+    res = ReplicaResources.create(sim, 0)
+    monitor = ReplicaMonitor(res, smoothing=1.0)
+    res.cpu.acquire(5.0)
+    res.disk.acquire(2.0)
+    sim.run_until(10.0)
+    sample = monitor.take_sample(10.0)
+    assert sample.cpu == pytest.approx(0.5)
+    assert sample.disk == pytest.approx(0.2)
+
+
+def test_monitor_smooths_samples():
+    sim = Simulator()
+    res = ReplicaResources.create(sim, 0)
+    monitor = ReplicaMonitor(res, smoothing=0.5)
+    res.cpu.acquire(10.0)
+    sim.run_until(10.0)
+    monitor.take_sample(10.0)            # cpu=1.0
+    sim.run_until(20.0)                  # idle window
+    sample = monitor.take_sample(20.0)
+    assert 0.4 < sample.cpu < 0.6
+
+
+def test_cluster_monitor_periodic_sampling():
+    sim = Simulator()
+    monitor = ClusterMonitor(sim, interval=5.0, smoothing=1.0)
+    res = ReplicaResources.create(sim, 0)
+    monitor.register(0, res)
+    monitor.start()
+    res.disk.acquire(5.0)
+    sim.run_until(6.0)
+    assert monitor.load_of(0).disk > 0.0
+    assert monitor.replica_ids() == [0]
+    with pytest.raises(KeyError):
+        monitor.load_of(9)
+
+
+def test_invalid_parameters():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ClusterMonitor(sim, interval=0)
+    with pytest.raises(ValueError):
+        ReplicaMonitor(ReplicaResources.create(sim, 0), smoothing=0.0)

@@ -1,0 +1,60 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.sim.simulator import Simulator
+
+
+def test_time_advances_with_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, lambda: seen.append(sim.now))
+    sim.schedule(1.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.0, 5.0]
+    assert sim.now == 5.0
+
+
+def test_run_until_stops_at_boundary():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: seen.append(1))
+    sim.schedule(10.0, lambda: seen.append(10))
+    sim.run_until(5.0)
+    assert seen == [1]
+    assert sim.now == 5.0
+    sim.run_until(20.0)
+    assert seen == [1, 10]
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.run_until(0.1)
+
+
+def test_periodic_callbacks():
+    sim = Simulator()
+    ticks = []
+    sim.schedule_periodic(10.0, lambda: ticks.append(sim.now))
+    sim.run_until(35.0)
+    assert ticks == [10.0, 20.0, 30.0]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.schedule(1.0, lambda: seen.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run_until(10.0)
+    assert seen == ["second"]
+    assert sim.events_processed == 2

@@ -1,0 +1,113 @@
+"""Unit and property tests for the fractional-LRU buffer pool."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pages import mb
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        BufferPool(0)
+    with pytest.raises(ValueError):
+        BufferPool(mb(1), skew=0.0)
+
+
+def test_cold_access_misses_everything():
+    pool = BufferPool(mb(100), skew=1.0)
+    miss = pool.access("users", mb(1), mb(50))
+    assert miss == pytest.approx(mb(1))
+    assert pool.resident_bytes_of("users") == pytest.approx(mb(1))
+
+
+def test_warm_relation_hits():
+    pool = BufferPool(mb(100))
+    pool.warm("users", mb(50), mb(50))
+    assert pool.access("users", mb(1), mb(50)) == pytest.approx(0.0)
+    assert pool.stats.hit_ratio == pytest.approx(1.0)
+
+
+def test_repeated_access_converges_to_hits():
+    pool = BufferPool(mb(100), skew=1.0)
+    misses = [pool.access("users", mb(2), mb(20)) for _ in range(200)]
+    assert misses[-1] < misses[0]
+    assert misses[-1] < mb(2) * 0.05
+
+
+def test_scan_loads_whole_relation():
+    pool = BufferPool(mb(100))
+    miss = pool.scan("items", mb(30))
+    assert miss == pytest.approx(mb(30))
+    assert pool.resident_bytes_of("items") == pytest.approx(mb(30))
+    assert pool.scan("items", mb(30)) == pytest.approx(0.0)
+
+
+def test_large_scan_evicts_lru_relation():
+    pool = BufferPool(mb(100))
+    pool.scan("users", mb(60))
+    pool.scan("orders", mb(80))          # displaces users
+    assert pool.resident_bytes <= mb(100)
+    assert pool.resident_bytes_of("users") < mb(60)
+    assert pool.resident_bytes_of("orders") == pytest.approx(mb(80))
+
+
+def test_most_recent_relation_is_protected():
+    pool = BufferPool(mb(100))
+    pool.scan("users", mb(90))
+    pool.scan("orders", mb(50))
+    # orders was accessed last: it should be fully resident.
+    assert pool.resident_bytes_of("orders") == pytest.approx(mb(50))
+
+
+def test_relation_larger_than_pool_is_capped():
+    pool = BufferPool(mb(64))
+    pool.scan("logs", mb(200))
+    assert pool.resident_bytes <= mb(64) + 1
+
+
+def test_invalidate_frees_memory():
+    pool = BufferPool(mb(100))
+    pool.scan("users", mb(40))
+    freed = pool.invalidate("users")
+    assert freed == pytest.approx(mb(40))
+    assert pool.resident_bytes == pytest.approx(0.0)
+
+
+def test_clear_resets_pool():
+    pool = BufferPool(mb(100))
+    pool.scan("users", mb(40))
+    pool.clear()
+    assert pool.resident_bytes == 0.0
+    assert pool.resident_relations() == []
+
+
+def test_skew_increases_hit_rate():
+    uniform = BufferPool(mb(100), skew=1.0)
+    skewed = BufferPool(mb(100), skew=0.3)
+    for pool in (uniform, skewed):
+        pool.warm("users", mb(25), mb(50))   # half the hot set resident
+    assert skewed.access("users", mb(1), mb(50)) < uniform.access("users", mb(1), mb(50))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["a", "b", "c", "d"]),
+                          st.integers(min_value=1, max_value=64),
+                          st.integers(min_value=1, max_value=256)),
+                min_size=1, max_size=60))
+def test_capacity_invariant_under_arbitrary_access(accesses):
+    pool = BufferPool(mb(32))
+    for relation, need_mb, hot_mb in accesses:
+        need = mb(min(need_mb, hot_mb))
+        pool.access(relation, need, mb(hot_mb))
+        assert pool.resident_bytes <= pool.capacity_bytes + 1
+        assert all(v >= 0 for v in pool._resident.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=100), st.integers(min_value=1, max_value=100))
+def test_miss_never_exceeds_request(need_mb, hot_mb):
+    pool = BufferPool(mb(16))
+    need = mb(min(need_mb, hot_mb))
+    miss = pool.access("r", need, mb(hot_mb))
+    assert 0.0 <= miss <= need + 1

@@ -1,0 +1,50 @@
+"""Unit tests for the disk cost model."""
+
+import pytest
+
+from repro.storage.disk import DiskModel
+from repro.storage.pages import MB, PAGE_SIZE_BYTES
+
+
+def test_random_read_cost_scales_with_pages():
+    disk = DiskModel(random_read_ms_per_page=10.0)
+    one = disk.random_read_seconds(PAGE_SIZE_BYTES)
+    ten = disk.random_read_seconds(10 * PAGE_SIZE_BYTES)
+    assert one == pytest.approx(0.010)
+    assert ten == pytest.approx(0.100)
+
+
+def test_sequential_read_uses_bandwidth():
+    disk = DiskModel(sequential_read_mb_per_s=50.0)
+    assert disk.sequential_read_seconds(50 * MB) == pytest.approx(1.0)
+
+
+def test_zero_bytes_cost_nothing():
+    disk = DiskModel()
+    assert disk.random_read_seconds(0) == 0.0
+    assert disk.sequential_read_seconds(0) == 0.0
+    assert disk.write_seconds(0) == 0.0
+
+
+def test_write_coalescing_reduces_cost():
+    eager = DiskModel(write_coalesce_factor=1.0)
+    lazy = DiskModel(write_coalesce_factor=0.5)
+    volume = 100 * PAGE_SIZE_BYTES
+    assert lazy.write_seconds(volume) < eager.write_seconds(volume)
+    assert lazy.effective_write_bytes(volume) == pytest.approx(volume * 0.5)
+
+
+def test_combined_read_seconds():
+    disk = DiskModel()
+    combined = disk.read_seconds(PAGE_SIZE_BYTES, MB)
+    assert combined == pytest.approx(
+        disk.random_read_seconds(PAGE_SIZE_BYTES) + disk.sequential_read_seconds(MB))
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        DiskModel(random_read_ms_per_page=0)
+    with pytest.raises(ValueError):
+        DiskModel(sequential_read_mb_per_s=-1)
+    with pytest.raises(ValueError):
+        DiskModel(write_coalesce_factor=0.0)

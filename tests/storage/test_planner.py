@@ -1,0 +1,50 @@
+"""Unit tests for the query planner (EXPLAIN equivalent)."""
+
+from repro.storage.planner import QueryPlanner
+from repro.storage.query_plan import PlanNodeKind
+from repro.workloads.spec import lookup, scan, transaction_type, write
+
+
+def test_scan_plan_touches_all_pages(tiny_planner, tiny_catalog):
+    plan = tiny_planner.plan(transaction_type("T", reads=[scan("items")]))
+    node = plan.nodes[0]
+    assert node.kind is PlanNodeKind.SEQ_SCAN
+    assert node.estimated_pages == tiny_catalog.relpages("items")
+    assert plan.scanned_relations() == ["items"]
+
+
+def test_lookup_uses_index_when_available(tiny_planner):
+    plan = tiny_planner.plan(transaction_type("T", reads=[lookup("users", pages=4)]))
+    node = plan.nodes[0]
+    assert node.kind is PlanNodeKind.INDEX_SCAN
+    assert node.relation == "users_pkey"
+    assert node.table == "users"
+    assert "users" in plan.randomly_accessed_relations()
+
+
+def test_lookup_without_index_falls_back_to_scan(tiny_planner, tiny_catalog):
+    plan = tiny_planner.plan(transaction_type("T", reads=[lookup("logs", pages=4)]))
+    node = plan.nodes[0]
+    assert node.kind is PlanNodeKind.SEQ_SCAN
+    assert node.estimated_pages == tiny_catalog.relpages("logs")
+
+
+def test_write_produces_modify_node(tiny_planner):
+    plan = tiny_planner.plan(transaction_type(
+        "T", reads=[lookup("orders", pages=1)], writes=[write("orders")]))
+    assert plan.written_tables() == ["orders"]
+    assert any(node.is_modify for node in plan.nodes)
+
+
+def test_plan_all_covers_all_types(tiny_planner, tiny_workload):
+    plans = tiny_planner.plan_all(tiny_workload.types)
+    assert set(plans) == set(tiny_workload.types)
+    for name, plan in plans.items():
+        assert plan.transaction_type == name
+        assert plan.relations()
+
+
+def test_explain_renders_text(tiny_planner, tiny_workload):
+    plan = tiny_planner.plan(tiny_workload.type("Scan"))
+    text = plan.explain()
+    assert "Scan" in text and "items" in text

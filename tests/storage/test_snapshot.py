@@ -1,0 +1,51 @@
+"""Unit tests for replica-local snapshot bookkeeping."""
+
+import pytest
+
+from repro.storage.snapshot import SnapshotManager
+
+
+def test_begin_assigns_current_applied_version():
+    mgr = SnapshotManager()
+    mgr.advance(5)
+    assert mgr.begin(1) == 5
+    assert mgr.snapshot_of(1) == 5
+
+
+def test_unknown_transaction_raises():
+    mgr = SnapshotManager()
+    with pytest.raises(KeyError):
+        mgr.snapshot_of(42)
+
+
+def test_advance_is_monotonic():
+    mgr = SnapshotManager()
+    mgr.advance(10)
+    mgr.advance(3)
+    assert mgr.applied_version == 10
+    assert mgr.lag(15) == 5
+    assert mgr.lag(5) == 0
+
+
+def test_session_consistency_pins_snapshot():
+    mgr = SnapshotManager()
+    mgr.advance(10)
+    mgr.begin(1, session="alice")
+    mgr.finish(1, session="alice", commit_version=12)
+    # The replica is still at version 10 but the session has seen 12.
+    snapshot = mgr.begin(2, session="alice")
+    assert snapshot == 12
+
+
+def test_active_and_oldest_snapshot_tracking():
+    mgr = SnapshotManager()
+    mgr.advance(3)
+    mgr.begin(1)
+    mgr.advance(7)
+    mgr.begin(2)
+    assert mgr.active_transactions == 2
+    assert mgr.oldest_active_snapshot() == 3
+    mgr.finish(1)
+    assert mgr.oldest_active_snapshot() == 7
+    mgr.finish(2)
+    assert mgr.oldest_active_snapshot() is None

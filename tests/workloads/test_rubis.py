@@ -1,0 +1,40 @@
+"""Tests for the RUBiS workload model."""
+
+import pytest
+
+from repro.storage.pages import gb
+from repro.workloads.rubis import make_rubis, make_schema
+
+
+def test_database_is_about_2_2_gb():
+    schema = make_schema()
+    assert gb(1.9) < schema.total_size_bytes < gb(2.6)
+
+
+def test_seventeen_interaction_types():
+    spec = make_rubis()
+    assert len(spec.types) == 17
+    assert "AboutMe" in spec.types
+
+
+def test_browsing_mix_is_read_only():
+    spec = make_rubis()
+    assert spec.mix("browsing").update_fraction(spec.types) == 0.0
+
+
+def test_bidding_mix_has_about_15_percent_updates():
+    spec = make_rubis()
+    frac = spec.mix("bidding").update_fraction(spec.types)
+    assert frac == pytest.approx(0.15, abs=0.04)
+
+
+def test_about_me_touches_most_tables():
+    spec = make_rubis()
+    about_me = spec.types["AboutMe"]
+    assert len(about_me.reads) >= 5
+    assert "bids" in about_me.read_relations()
+
+
+def test_store_bid_writes_bids():
+    spec = make_rubis()
+    assert "bids" in spec.types["StoreBid"].written_tables()

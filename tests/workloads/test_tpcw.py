@@ -1,0 +1,63 @@
+"""Tests for the TPC-W workload model."""
+
+import pytest
+
+from repro.storage.pages import gb
+from repro.workloads.tpcw import DATABASE_SIZES, make_schema, make_tpcw, make_tpcw_by_label
+
+
+def test_mid_db_is_about_1_8_gb():
+    schema = make_schema(300)
+    assert gb(1.5) < schema.total_size_bytes < gb(2.1)
+
+
+def test_small_and_large_db_scale():
+    small = make_schema(100).total_size_bytes
+    mid = make_schema(300).total_size_bytes
+    large = make_schema(500).total_size_bytes
+    assert small < mid < large
+    assert gb(0.5) < small < gb(0.95)
+    assert gb(2.4) < large < gb(3.3)
+
+
+def test_catalogue_tables_do_not_scale():
+    small = make_schema(100)
+    large = make_schema(500)
+    assert small["item"].size_bytes == large["item"].size_bytes
+    assert small["author"].size_bytes == large["author"].size_bytes
+    assert small["customer"].size_bytes < large["customer"].size_bytes
+
+
+def test_fourteen_interaction_types():
+    spec = make_tpcw(300)
+    assert len(spec.types) == 14
+    assert "BestSellers" in spec.types and "BuyConfirm" in spec.types
+
+
+def test_mix_update_fractions_match_paper():
+    spec = make_tpcw(300)
+    browsing = spec.mix("browsing").update_fraction(spec.types)
+    shopping = spec.mix("shopping").update_fraction(spec.types)
+    ordering = spec.mix("ordering").update_fraction(spec.types)
+    assert browsing == pytest.approx(0.05, abs=0.02)
+    assert shopping == pytest.approx(0.19, abs=0.04)
+    assert ordering == pytest.approx(0.50, abs=0.05)
+
+
+def test_make_by_label():
+    assert make_tpcw_by_label("MidDB").schema.total_size_bytes == make_tpcw(300).schema.total_size_bytes
+    with pytest.raises(KeyError):
+        make_tpcw_by_label("HugeDB")
+    assert set(DATABASE_SIZES) == {"SmallDB", "MidDB", "LargeDB"}
+
+
+def test_invalid_ebs_rejected():
+    with pytest.raises(ValueError):
+        make_schema(0)
+
+
+def test_buy_confirm_is_update_and_bestsellers_is_not():
+    spec = make_tpcw(300)
+    assert spec.types["BuyConfirm"].is_update
+    assert spec.types["BestSellers"].is_read_only
+    assert "order_line" in spec.types["BuyConfirm"].written_tables()
