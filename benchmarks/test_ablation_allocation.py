@@ -5,6 +5,8 @@ static allocation sized for the wrong mix should underperform the adaptive
 one (this is the quantitative core of Figure 6's bottom line).
 """
 
+import pytest
+
 import dataclasses
 
 from benchmarks.conftest import run_cached
@@ -29,3 +31,7 @@ def test_static_versus_dynamic_allocation(benchmark):
     print("  dynamic allocation: %7.1f tps" % adaptive.throughput_tps)
     print("  static (tuned for shopping): %7.1f tps" % frozen.throughput_tps)
     assert adaptive.throughput_tps > 0 and frozen.throughput_tps > 0
+
+#: paper-scale measurement harness -- runs minutes of simulated
+#: experiments, so it is excluded from the fast tier-1 suite.
+pytestmark = pytest.mark.slow

@@ -14,6 +14,8 @@ The paper's qualitative findings this bench reports on:
 * update filtering matters mainly for the update-heavy ordering mix.
 """
 
+import pytest
+
 from benchmarks.conftest import run_all_cached
 from repro.experiments.configs import figure10_configs
 
@@ -49,3 +51,7 @@ def test_figure10_configuration_space(benchmark, paper):
     # More memory never hurts LeastConnections.
     for (db_label, mix), cell in by_cell.items():
         assert cell[1024]["LeastConnections"] >= cell[256]["LeastConnections"] * 0.8
+
+#: paper-scale measurement harness -- runs minutes of simulated
+#: experiments, so it is excluded from the fast tier-1 suite.
+pytestmark = pytest.mark.slow

@@ -3,6 +3,8 @@
 Paper (MidDB 1.8 GB, 512 MB RAM, 16 replicas): 3 / 37 / 50 / 76 tps.
 """
 
+import pytest
+
 from benchmarks.conftest import run_all_cached
 from repro.experiments.configs import PAPER_FIGURES, figure3_configs
 from repro.experiments.report import format_result_table, shape_check
@@ -23,3 +25,7 @@ def test_figure3_tpcw_method_comparison(benchmark, paper):
     assert all(tps > 0 for tps in by_policy.values())
     assert by_policy["LeastConnections"] > 2 * by_policy["Single"]
     assert by_policy["MALB-SC"] > 2 * by_policy["Single"]
+
+#: paper-scale measurement harness -- runs minutes of simulated
+#: experiments, so it is excluded from the fast tier-1 suite.
+pytestmark = pytest.mark.slow

@@ -3,6 +3,8 @@
 Paper (2.2 GB DB, 512 MB RAM, 16 replicas): 3 / 31 / 34 / 43 tps.
 """
 
+import pytest
+
 from benchmarks.conftest import run_all_cached
 from repro.experiments.configs import PAPER_FIGURES, figure4_configs
 from repro.experiments.report import format_result_table, shape_check
@@ -19,3 +21,7 @@ def test_figure4_rubis_method_comparison(benchmark, paper):
           "OK" if not problems else "; ".join(problems))
     by_policy = {r.config.policy: r.throughput_tps for r in results}
     assert by_policy["LeastConnections"] > 2 * by_policy["Single"]
+
+#: paper-scale measurement harness -- runs minutes of simulated
+#: experiments, so it is excluded from the fast tier-1 suite.
+pytestmark = pytest.mark.slow

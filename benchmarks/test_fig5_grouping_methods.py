@@ -6,6 +6,8 @@ scanned-only lower estimate (SCAP) over-packs and loses to the conservative
 estimates (S, SC).
 """
 
+import pytest
+
 from benchmarks.conftest import run_all_cached
 from repro.experiments.configs import figure5_configs
 from repro.experiments.report import format_result_table, shape_check
@@ -22,3 +24,7 @@ def test_figure5_grouping_methods(benchmark, paper):
     by_policy = {r.config.policy: r for r in results}
     # SC must read no more per transaction than SCAP (which over-packs).
     assert by_policy["MALB-SC"].read_kb_per_txn <= by_policy["MALB-SCAP"].read_kb_per_txn * 1.1
+
+#: paper-scale measurement harness -- runs minutes of simulated
+#: experiments, so it is excluded from the fast tier-1 suite.
+pytestmark = pytest.mark.slow

@@ -6,6 +6,8 @@ the static configuration tuned for the shopping mix is far worse (19 tps)
 than both the adaptive configuration (45 tps) and LeastConnections (37 tps).
 """
 
+import pytest
+
 from benchmarks.conftest import run_cached
 from repro.experiments.configs import figure6_configs
 from repro.experiments.report import format_series
@@ -33,3 +35,7 @@ def test_figure6_dynamic_reconfiguration(benchmark, paper):
     assert series, "expected a throughput series"
     phase_buckets = [p for p in series if p.time >= 60.0]
     assert all(p.throughput_tps > 0 for p in phase_buckets)
+
+#: paper-scale measurement harness -- runs minutes of simulated
+#: experiments, so it is excluded from the fast tier-1 suite.
+pytestmark = pytest.mark.slow

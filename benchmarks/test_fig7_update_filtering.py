@@ -4,6 +4,8 @@ Paper (MidDB, 512 MB, 16 replicas): Single 3, LeastConnections 37, LARD 50,
 MALB-SC 76, MALB-SC+UpdateFiltering 113 tps (47% over MALB-SC alone).
 """
 
+import pytest
+
 from benchmarks.conftest import run_all_cached
 from repro.experiments.configs import figure7_configs
 from repro.experiments.report import format_result_table, shape_check
@@ -23,3 +25,7 @@ def test_figure7_update_filtering(benchmark, paper):
     # and must not lose throughput relative to MALB-SC.
     assert by_policy["MALB-SC+UF"].write_kb_per_txn < by_policy["MALB-SC"].write_kb_per_txn
     assert by_policy["MALB-SC+UF"].throughput_tps >= 0.9 * by_policy["MALB-SC"].throughput_tps
+
+#: paper-scale measurement harness -- runs minutes of simulated
+#: experiments, so it is excluded from the fast tier-1 suite.
+pytestmark = pytest.mark.slow

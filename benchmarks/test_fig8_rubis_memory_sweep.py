@@ -5,6 +5,8 @@ matches LeastConnections at 1 GB where the working sets fit; update filtering
 adds little because the bidding mix has only 15% updates.
 """
 
+import pytest
+
 from benchmarks.conftest import run_all_cached
 from repro.experiments.configs import figure8_configs
 from repro.experiments.report import format_bar_chart
@@ -27,3 +29,7 @@ def test_figure8_rubis_memory_sweep(benchmark, paper):
     for policy in ("LeastConnections", "MALB-SC", "MALB-SC+UF"):
         series = [r.throughput_tps for r in results if r.config.policy == policy]
         assert series[0] <= series[-1] * 1.25
+
+#: paper-scale measurement harness -- runs minutes of simulated
+#: experiments, so it is excluded from the fast tier-1 suite.
+pytestmark = pytest.mark.slow

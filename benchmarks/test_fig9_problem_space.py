@@ -7,6 +7,8 @@ corners of the Figure 10 sweep: the MALB-SC : LeastConnections throughput
 ratio per (database size, memory size) cell.
 """
 
+import pytest
+
 from benchmarks.conftest import run_all_cached
 from repro.experiments.configs import figure10_configs
 
@@ -33,3 +35,7 @@ def test_figure9_problem_space(benchmark, paper):
     print(" middle of the space, covered exhaustively by the Figure 10 bench)")
     for cell in by_cell.values():
         assert cell["MALB-SC"] > 0 and cell["LeastConnections"] > 0
+
+#: paper-scale measurement harness -- runs minutes of simulated
+#: experiments, so it is excluded from the fast tier-1 suite.
+pytestmark = pytest.mark.slow

@@ -5,6 +5,8 @@ to 70 tps -- merging compensates for having many groups, some with
 infrequent requests.
 """
 
+import pytest
+
 import dataclasses
 
 from benchmarks.conftest import run_cached
@@ -28,3 +30,7 @@ def test_section53_merging_ablation(benchmark, paper):
     assert merged.throughput_tps > 0 and unmerged.throughput_tps > 0
     # Merging must never make things drastically worse.
     assert merged.throughput_tps >= 0.8 * unmerged.throughput_tps
+
+#: paper-scale measurement harness -- runs minutes of simulated
+#: experiments, so it is excluded from the fast tier-1 suite.
+pytestmark = pytest.mark.slow

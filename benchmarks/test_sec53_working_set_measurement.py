@@ -7,6 +7,8 @@ match the measured 600-650 MB; OrderDisplay's estimates diverge wildly
 (1 MB vs 1600 MB) around a true working set of 400-450 MB.
 """
 
+import pytest
+
 import random
 
 from repro.core.estimator import WorkingSetEstimator, measure_working_set
@@ -56,3 +58,7 @@ def test_section53_working_set_estimates_vs_measurement(benchmark, paper):
     assert lower < measured < upper
     assert upper / mb(1) > 1000
     assert lower / mb(1) < 16
+
+#: paper-scale measurement harness -- runs minutes of simulated
+#: experiments, so it is excluded from the fast tier-1 suite.
+pytestmark = pytest.mark.slow

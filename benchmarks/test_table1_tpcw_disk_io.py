@@ -4,6 +4,8 @@ Paper: LeastConnections 12/72 KB (write/read), LARD 12/57, MALB-SC 12/20;
 the read fraction relative to LeastConnections falls to 0.28 for MALB-SC.
 """
 
+import pytest
+
 from benchmarks.conftest import run_all_cached
 from repro.experiments.configs import PAPER_FIGURES, figure3_configs
 from repro.experiments.report import format_io_table
@@ -18,3 +20,7 @@ def test_table1_disk_io_per_transaction(benchmark, paper):
     by_policy = {r.config.policy: r for r in results}
     # The memory-aware policy must read less per transaction than LeastConnections.
     assert by_policy["MALB-SC"].read_kb_per_txn < by_policy["LeastConnections"].read_kb_per_txn
+
+#: paper-scale measurement harness -- runs minutes of simulated
+#: experiments, so it is excluded from the fast tier-1 suite.
+pytestmark = pytest.mark.slow

@@ -6,6 +6,8 @@ OrderInquiry, ProductDetail]=1, [Home, NewProducts, SearchRequest,
 AdminRequest]=1.
 """
 
+import pytest
+
 from benchmarks.conftest import run_cached
 from repro.experiments.configs import PAPER_FIGURES, figure3_configs
 from repro.experiments.report import format_grouping_table
@@ -25,3 +27,7 @@ def test_table2_malb_sc_groupings(benchmark, paper):
     assert sum(result.replica_counts.values()) >= 16
     groups_of = {t: gid for gid, types in result.groupings.items() for t in types}
     assert groups_of["BestSellers"] != groups_of["SearchRequest"]
+
+#: paper-scale measurement harness -- runs minutes of simulated
+#: experiments, so it is excluded from the fast tier-1 suite.
+pytestmark = pytest.mark.slow

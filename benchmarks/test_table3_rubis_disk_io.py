@@ -3,6 +3,8 @@
 Paper: LeastConnections 11/162 KB (write/read), LARD 11/149, MALB-SC 11/111.
 """
 
+import pytest
+
 from benchmarks.conftest import run_all_cached
 from repro.experiments.configs import figure4_configs
 from repro.experiments.report import format_io_table
@@ -16,3 +18,7 @@ def test_table3_rubis_disk_io(benchmark, paper):
                           title="Table 3 - RUBiS average disk I/O per transaction (KB)"))
     by_policy = {r.config.policy: r for r in results}
     assert by_policy["MALB-SC"].read_kb_per_txn <= by_policy["LeastConnections"].read_kb_per_txn * 1.2
+
+#: paper-scale measurement harness -- runs minutes of simulated
+#: experiments, so it is excluded from the fast tier-1 suite.
+pytestmark = pytest.mark.slow

@@ -6,6 +6,8 @@ SearchItemsByRegion, StoreBuyNow]=1, [RegisterItem, SearchItemsByCategory,
 StoreBid, ViewItem]=2.
 """
 
+import pytest
+
 from benchmarks.conftest import run_cached
 from repro.experiments.configs import figure4_configs
 from repro.experiments.report import format_grouping_table
@@ -24,3 +26,7 @@ def test_table4_rubis_groupings(benchmark, paper):
     # light browse interactions.
     groups_of = {t: gid for gid, types in result.groupings.items() for t in types}
     assert groups_of["AboutMe"] != groups_of["BrowseCategories"]
+
+#: paper-scale measurement harness -- runs minutes of simulated
+#: experiments, so it is excluded from the fast tier-1 suite.
+pytestmark = pytest.mark.slow

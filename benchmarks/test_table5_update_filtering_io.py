@@ -4,6 +4,8 @@ Paper: update filtering drops writes from 12 KB to 9 KB per transaction and
 reads from 20 KB to 18 KB.
 """
 
+import pytest
+
 from benchmarks.conftest import run_all_cached
 from repro.experiments.configs import figure7_configs
 from repro.experiments.report import format_io_table
@@ -18,3 +20,7 @@ def test_table5_update_filtering_io(benchmark, paper):
     by_policy = {r.config.policy: r for r in results}
     assert by_policy["MALB-SC+UF"].write_kb_per_txn < by_policy["MALB-SC"].write_kb_per_txn
     assert by_policy["MALB-SC+UF"].read_kb_per_txn <= by_policy["MALB-SC"].read_kb_per_txn * 1.2
+
+#: paper-scale measurement harness -- runs minutes of simulated
+#: experiments, so it is excluded from the fast tier-1 suite.
+pytestmark = pytest.mark.slow

@@ -1,0 +1,7 @@
+"""Shim for legacy editable installs (``pip install -e . --no-use-pep517``)
+in offline environments without the ``wheel`` package; all real metadata
+lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

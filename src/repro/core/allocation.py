@@ -81,10 +81,6 @@ class ReplicaAllocator:
             raise ValueError("allocator needs at least one transaction group")
         if not replica_ids:
             raise ValueError("allocator needs at least one replica")
-        if len(replica_ids) < len(groups):
-            raise ValueError(
-                "cannot allocate %d groups over %d replicas" % (len(groups), len(replica_ids))
-            )
         if hysteresis < 1.0:
             raise ValueError("hysteresis must be >= 1.0")
         self.groups: Dict[str, TransactionGroup] = {g.group_id: g for g in groups}
@@ -107,12 +103,22 @@ class ReplicaAllocator:
 
         Every group gets at least one replica; remaining replicas are dealt
         out round-robin in decreasing order of estimated working-set size
-        (a reasonable prior before any load measurements arrive).
+        (a reasonable prior before any load measurements arrive).  When the
+        cluster is smaller than the number of groups (a scaled-down or
+        not-yet-scaled-up elastic cluster), groups share replicas
+        round-robin instead -- every transaction type stays servable and
+        the allocator can still grow the assignment as replicas join.
         """
         ordered_groups = sorted(
             self.groups.values(), key=lambda g: (-g.estimated_bytes, g.group_id)
         )
         self.assignment = {g.group_id: [] for g in ordered_groups}
+        if len(self.replica_ids) < len(ordered_groups):
+            for index, group in enumerate(ordered_groups):
+                replica = self.replica_ids[index % len(self.replica_ids)]
+                self.assignment[group.group_id].append(replica)
+            self.validate()
+            return
         replicas = list(self.replica_ids)
         # One replica for each group first (availability), then round-robin.
         for group in ordered_groups:
@@ -200,6 +206,14 @@ class ReplicaAllocator:
         move = self._try_single_move(loads)
         if move is not None:
             return self._record(move)
+
+        expand = self._try_expand(loads)
+        if expand is not None:
+            return self._record(expand)
+
+        contract = self._try_contract(loads)
+        if contract is not None:
+            return self._record(contract)
         return self._record(AllocationAction("none", "balanced"))
 
     def freeze(self) -> None:
@@ -209,6 +223,58 @@ class ReplicaAllocator:
 
     def unfreeze(self) -> None:
         self.frozen = False
+
+    # ------------------------------------------------------------------
+    # Membership changes (elasticity)
+    # ------------------------------------------------------------------
+    def add_replica(self, replica_id: int) -> AllocationAction:
+        """Admit a replica that just joined the cluster.
+
+        The newcomer goes to the group with the fewest replicas; the demand
+        targets and the utilisation-based rebalance move it afterwards.
+        Membership changes apply even to a frozen allocation -- freezing
+        stops optimisation, not reality.
+        """
+        if replica_id in self.replica_ids:
+            raise ValueError("replica %d is already allocated" % (replica_id,))
+        self.replica_ids.append(replica_id)
+        self.replica_ids.sort()
+        group_id = min(self.assignment,
+                       key=lambda gid: (len(self.assignment[gid]), gid))
+        self.assignment[group_id].append(replica_id)
+        self.validate()
+        return self._record(AllocationAction(
+            "join", "replica %d joined group %s" % (replica_id, group_id),
+            moved_replicas=1))
+
+    def remove_replica(self, replica_id: int) -> AllocationAction:
+        """Retire a replica that crashed or left the cluster.
+
+        Groups left without a replica share the surviving machine hosting
+        the fewest groups, so every transaction type stays servable even
+        when the cluster shrinks below one replica per group.
+        """
+        if replica_id not in self.replica_ids:
+            raise ValueError("replica %d is not allocated" % (replica_id,))
+        if len(self.replica_ids) <= 1:
+            raise ValueError("cannot remove the last replica")
+        self.replica_ids.remove(replica_id)
+        rehomed = []
+        for group_id, replicas in self.assignment.items():
+            if replica_id in replicas:
+                replicas.remove(replica_id)
+        for group_id, replicas in self.assignment.items():
+            if not replicas:
+                host = min(self.replica_ids,
+                           key=lambda rid: (len(self.groups_of_replica(rid)), rid))
+                replicas.append(host)
+                rehomed.append((group_id, host))
+        self.validate()
+        detail = "replica %d left" % (replica_id,)
+        if rehomed:
+            detail += "; " + ", ".join(
+                "%s now shares replica %d" % (gid, host) for gid, host in rehomed)
+        return self._record(AllocationAction("leave", detail, moved_replicas=1))
 
     # ------------------------------------------------------------------
     # Single-replica move with hysteresis
@@ -317,10 +383,14 @@ class ReplicaAllocator:
         replica = self._pick_replica_to_release(donor, loads)
         if replica is None:
             return None
-        # Give the second sharing group its own replica again.
+        # Give the second sharing group its own replica again: it leaves the
+        # hot shared machine and takes the donated one (keeping any other
+        # machines it had acquired, e.g. through expansion).
         split_group = sharing_groups[-1]
         self.assignment[donor].remove(replica)
-        self.assignment[split_group] = [replica]
+        members = self.assignment[split_group]
+        members.remove(hottest)
+        members.append(replica)
         self.validate()
         return AllocationAction(
             "split",
@@ -328,6 +398,83 @@ class ReplicaAllocator:
             % (split_group, hottest, replica, donor),
             moved_replicas=1,
         )
+
+    #: a group must be at least this hot (bottleneck utilisation) before it
+    #: may expand onto a machine it does not own (sharing).
+    EXPAND_THRESHOLD = 0.75
+
+    def _try_expand(self, loads: Mapping[int, LoadSample]) -> Optional[AllocationAction]:
+        """Let an overloaded group spill onto the least-loaded machine.
+
+        When the cluster has fewer machines than groups (an elastic cluster
+        scaled down, or newly grown with the newcomers claimed exclusively),
+        the classic single move has no donor: every other group would drop
+        to zero replicas.  The way out is sharing in reverse -- the hottest
+        group *adds* the least-loaded machine to its replica set, subject to
+        the usual hysteresis.  The split rule later undoes the sharing when
+        capacity returns.
+        """
+        group_loads = self.group_loads(loads)
+        most_loaded = max(group_loads, key=lambda gid: group_loads[gid].bottleneck)
+        hot = group_loads[most_loaded]
+        if hot.bottleneck < self.EXPAND_THRESHOLD:
+            return None
+        candidates = [rid for rid in self.replica_ids
+                      if rid not in self.assignment[most_loaded]]
+        if not candidates:
+            return None
+
+        def replica_bottleneck(rid: int) -> float:
+            return max(loads[rid].cpu, loads[rid].disk)
+
+        coldest = min(candidates, key=lambda rid: (replica_bottleneck(rid), rid))
+        if hot.bottleneck < self.hysteresis * max(replica_bottleneck(coldest), 0.01):
+            return None
+        self.assignment[most_loaded].append(coldest)
+        self.validate()
+        return AllocationAction(
+            "expand",
+            "group %s (load %.2f) expanded onto replica %d (load %.2f)"
+            % (most_loaded, hot.bottleneck, coldest, replica_bottleneck(coldest)),
+            moved_replicas=1,
+        )
+
+    #: a group may give a machine back when its extrapolated load without
+    #: that machine stays below this utilisation.
+    CONTRACT_THRESHOLD = 0.5
+
+    def _try_contract(self, loads: Mapping[int, LoadSample]) -> Optional[AllocationAction]:
+        """Undo expansion once the pressure is gone.
+
+        The least-loaded group whose extrapolated one-fewer-replica load
+        stays comfortable gives up its most-shared machine.  This
+        re-concentrates working sets (restoring memory-awareness diluted by
+        flash-crowd expansion) and drains load off machines the autoscaler
+        can then retire.  Machines serving only that group are never
+        dropped -- that would orphan them.
+        """
+        group_loads = self.group_loads(loads)
+        candidates = [
+            (gl.future_bottleneck, gid) for gid, gl in group_loads.items()
+            if gl.replicas > 1 and gl.future_bottleneck < self.CONTRACT_THRESHOLD
+        ]
+        if not candidates:
+            return None
+        candidates.sort()
+        for _, group_id in candidates:
+            members = self.assignment[group_id]
+            shared = [rid for rid in members if len(self.groups_of_replica(rid)) > 1]
+            if not shared:
+                continue
+            victim = max(shared, key=lambda rid: (len(self.groups_of_replica(rid)), rid))
+            members.remove(victim)
+            self.validate()
+            return AllocationAction(
+                "contract",
+                "group %s released shared replica %d" % (group_id, victim),
+                moved_replicas=1,
+            )
+        return None
 
     # ------------------------------------------------------------------
     # Fast re-allocation via balance equations

@@ -103,6 +103,15 @@ class LoadBalancer(abc.ABC):
     def on_complete(self, replica_id: int, txn_type: TransactionType) -> None:
         """Notification that a dispatched transaction finished at ``replica_id``."""
 
+    def on_membership_change(self) -> None:
+        """Notification that the cluster's replica set changed.
+
+        Called after a replica joins, leaves, crashes or is restored
+        (elasticity).  The new membership is whatever the view's
+        ``replica_ids()`` now reports.  Stateless policies need nothing here;
+        policies that own a replica assignment (MALB) must reconcile it.
+        """
+
     # ------------------------------------------------------------------
     # Periodic work and update filtering
     # ------------------------------------------------------------------

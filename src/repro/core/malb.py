@@ -239,6 +239,42 @@ class MemoryAwareLoadBalancer(LoadBalancer):
         return moves
 
     # ------------------------------------------------------------------
+    # Membership changes (elasticity)
+    # ------------------------------------------------------------------
+    def on_membership_change(self) -> None:
+        """Reconcile the allocation with the cluster's live replica set.
+
+        Replicas that joined are admitted to the allocator and the
+        allocation is re-sized to demand; replicas that crashed or left are
+        retired (their groups fall back to sharing surviving machines).  If
+        update filtering is active, the filter plan is recomputed for the
+        new assignment so the ``min_copies`` availability floor is never
+        violated by churn.
+        """
+        if self.allocator is None:
+            return
+        view = self._require_view()
+        allocator = self.allocator
+        current = set(view.replica_ids())
+        known = set(allocator.replica_ids)
+        if current == known:
+            return
+        for rid in sorted(known - current):
+            allocator.remove_replica(rid)
+        for rid in sorted(current - known):
+            allocator.add_replica(rid)
+        was_frozen = allocator.frozen
+        if not self.static_allocation:
+            if was_frozen:
+                allocator.unfreeze()
+            self._apply_demand_targets(max_moves=None)
+            if was_frozen:
+                allocator.freeze()
+        if self.filter_plan is not None:
+            self._enable_filtering()
+        self._last_move_time = self._now_hint
+
+    # ------------------------------------------------------------------
     # Dispatching
     # ------------------------------------------------------------------
     def choose_replica(self, txn_type: TransactionType) -> int:
@@ -278,10 +314,16 @@ class MemoryAwareLoadBalancer(LoadBalancer):
                 moved = self._apply_demand_targets(max_moves=2, min_deviation=2)
                 if moved == 0 and self.enable_merging:
                     # Demand targets are satisfied; let the utilisation-based
-                    # allocator merge under-utilised singleton groups or undo
-                    # a merge whose shared replica became the hot spot.
+                    # allocator merge under-utilised singleton groups, undo
+                    # a merge whose shared replica became the hot spot, or
+                    # spill an overloaded group onto an idle machine when no
+                    # exclusive donor exists (elastic clusters with fewer
+                    # replicas than groups).
                     loads = {rid: self._effective_load(rid) for rid in view.replica_ids()}
-                    action = allocator._try_split(loads) or allocator._try_merge(loads)
+                    action = (allocator._try_split(loads)
+                              or allocator._try_merge(loads)
+                              or allocator._try_expand(loads)
+                              or allocator._try_contract(loads))
                     if action is not None:
                         allocator.actions.append(action)
                         self._last_move_time = now

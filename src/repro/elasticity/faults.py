@@ -1,0 +1,123 @@
+"""Fault injection for the replicated cluster.
+
+Drives the failure modes the paper's architecture claims to survive, inside
+a running simulation: replica crashes with later restarts (online recovery
+through :func:`~repro.replication.recovery.recover_replica`) and fail-over
+of the replicated certifier
+(:meth:`~repro.replication.recovery.ReplicatedCertifierLog.fail_over`).
+Faults are scheduled at absolute simulated times before or during a run;
+targets may be named or left to a seeded RNG at fire time, so a campaign is
+reproducible but does not need to know the membership in advance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:
+    from repro.replication.cluster import ReplicatedCluster
+
+#: Target id recorded for faults that do not concern a replica.
+NO_REPLICA = -1
+
+
+@dataclass
+class FaultRecord:
+    """One injected (or skipped) fault, for the audit trail."""
+
+    time: float
+    kind: str          # "crash", "restart", "certifier-failover", "skipped"
+    replica_id: int
+    detail: str = ""
+
+
+class FaultInjector:
+    """Schedules crashes, restarts and certifier fail-over on a cluster."""
+
+    def __init__(self, cluster: "ReplicatedCluster", seed: int = 0) -> None:
+        self.cluster = cluster
+        self.records: List[FaultRecord] = []
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Replica crashes
+    # ------------------------------------------------------------------
+    def schedule_crash(self, at_s: float, replica_id: Optional[int] = None,
+                       downtime_s: Optional[float] = None) -> None:
+        """Crash a replica at ``at_s`` (simulated seconds).
+
+        ``replica_id=None`` picks a random replica alive at fire time.  With
+        ``downtime_s`` the replica is restored after that much downtime,
+        replaying from the certifier log the writesets it missed.  If the
+        cluster is down to one replica at fire time the fault is skipped
+        (and recorded as skipped) rather than taking the system out.
+        """
+
+        def fire() -> None:
+            target = replica_id
+            alive = self.cluster.replica_ids()
+            if target is not None and target not in alive:
+                self._record("skipped", target if target is not None else NO_REPLICA,
+                             "crash target not in service")
+                return
+            if len(alive) <= 1:
+                self._record("skipped", NO_REPLICA, "only one replica in service")
+                return
+            if target is None:
+                target = self._rng.choice(alive)
+            self.cluster.membership.crash_replica(target)
+            self._record("crash", target, "")
+            if downtime_s is not None:
+                self.cluster.sim.schedule(downtime_s, lambda: self._restart(target))
+
+        self.cluster.sim.schedule_at(at_s, fire)
+
+    def _restart(self, replica_id: int) -> None:
+        replayed = self.cluster.membership.restore_replica(replica_id)
+        self._record("restart", replica_id, "replayed %d writesets" % replayed)
+
+    # ------------------------------------------------------------------
+    # Certifier fail-over
+    # ------------------------------------------------------------------
+    def schedule_certifier_failover(self, at_s: float,
+                                    leader_failed: bool = True) -> None:
+        """Fail the certifier leader over to a backup at ``at_s``.
+
+        Requires the cluster to run a replicated certifier
+        (``ClusterConfig.certifier_backups > 0``); replicas keep talking to
+        the wrapper, so the promotion is transparent to them and no
+        certified writeset is lost.
+        """
+        certifier = self.cluster.certifier
+        if not hasattr(certifier, "fail_over"):
+            raise RuntimeError(
+                "cluster has a single certifier; set ClusterConfig.certifier_backups > 0"
+            )
+
+        def fire() -> None:
+            version = certifier.current_version
+            certifier.fail_over(leader_failed=leader_failed)
+            self._record("certifier-failover", NO_REPLICA,
+                         "%s at version %d, %d backups remain"
+                         % ("leader crash" if leader_failed else "planned handover",
+                            version, len(certifier.backups)))
+
+        self.cluster.sim.schedule_at(at_s, fire)
+
+    # ------------------------------------------------------------------
+    def records_of_kind(self, kind: str) -> List[FaultRecord]:
+        return [record for record in self.records if record.kind == kind]
+
+    def _record(self, kind: str, replica_id: int, detail: str) -> None:
+        self.records.append(FaultRecord(
+            time=self.cluster.sim.now, kind=kind, replica_id=replica_id, detail=detail))
+
+    def describe(self) -> str:
+        lines = ["fault injector: %d records" % len(self.records)]
+        for record in self.records:
+            target = "replica %d" % record.replica_id if record.replica_id >= 0 else "certifier"
+            lines.append("  t=%8.2f  %-18s %-10s %s"
+                         % (record.time, record.kind, target, record.detail))
+        return "\n".join(lines)

@@ -1,5 +1,12 @@
 """Experiment harness: one configuration per paper table/figure, plus runners."""
 
+from repro.experiments.elasticity import (
+    ElasticityConfig,
+    ElasticityResult,
+    flash_crowd_scenario,
+    run_elastic_experiment,
+    window_throughput,
+)
 from repro.experiments.configs import (
     EXPERIMENT_INDEX,
     PAPER_FIGURES,
@@ -22,9 +29,14 @@ from repro.experiments.report import format_bar_chart, format_result_table
 
 __all__ = [
     "EXPERIMENT_INDEX",
+    "ElasticityConfig",
+    "ElasticityResult",
     "ExperimentConfig",
     "ExperimentResult",
     "PAPER_FIGURES",
+    "flash_crowd_scenario",
+    "run_elastic_experiment",
+    "window_throughput",
     "figure10_configs",
     "figure3_configs",
     "figure4_configs",

@@ -14,15 +14,20 @@ A cluster with ``num_replicas=1`` and a round-robin balancer doubles as the
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set
 
 from repro.core.balancer import LoadBalancer
 from repro.replication.certifier import Certifier
 from repro.replication.proxy import ProxyConfig
+from repro.replication.recovery import ReplicatedCertifierLog
 from repro.replication.replica import Replica
 from repro.replication.writeset import CertifiedWriteSet
+
+if TYPE_CHECKING:
+    from repro.elasticity.membership import MembershipManager
 from repro.sim.clients import ClientConfig, ClientPopulation
 from repro.sim.metrics import MetricsCollector
 from repro.sim.monitor import ClusterMonitor, LoadSample
@@ -60,10 +65,17 @@ class ClusterConfig:
     propagation_interval_s: float = 0.5
     warm_start: bool = True
     seed: int = 1
+    #: Number of synchronous certifier backups (the paper runs a leader plus
+    #: two).  0 keeps the single logical certifier; > 0 wires in a
+    #: :class:`~repro.replication.recovery.ReplicatedCertifierLog` so the
+    #: fault injector can fail the leader over mid-run.
+    certifier_backups: int = 0
 
     def __post_init__(self) -> None:
         if self.num_replicas <= 0:
             raise ValueError("num_replicas must be positive")
+        if self.certifier_backups < 0:
+            raise ValueError("certifier_backups cannot be negative")
         if self.replica_ram_bytes <= self.memory_overhead_bytes:
             raise ValueError("replica RAM must exceed the fixed memory overhead")
         if self.clients_per_replica <= 0:
@@ -126,11 +138,20 @@ class ReplicatedCluster:
         self.sim = Simulator()
         self._catalog = Catalog(schema=workload.schema)
         self._planner = QueryPlanner(catalog=self._catalog)
-        self.certifier = Certifier()
+        if self.config.certifier_backups > 0:
+            self.certifier = ReplicatedCertifierLog.create(self.config.certifier_backups)
+        else:
+            self.certifier = Certifier()
         self.monitor = ClusterMonitor(self.sim, interval=self.config.monitor_interval_s)
         self.metrics = MetricsCollector(warmup_seconds=0.0)
         self.replicas: Dict[int, Replica] = {}
         self._outstanding: Dict[int, int] = {}
+        self._inflight: Dict[int, Dict[int, Callable[[bool], None]]] = {}
+        self._inflight_tokens = itertools.count(1)
+        self._pulls_scheduled: Set[int] = set()
+        self._next_replica_id = 0
+        self._membership: Optional["MembershipManager"] = None
+        self._started = False
         self._build_replicas()
         self.generator = WorkloadGenerator(spec=self._workload, schedule=self.schedule,
                                            seed=self.config.seed)
@@ -145,35 +166,128 @@ class ReplicatedCluster:
             submit=self._submit,
         )
         self.balancer.attach(self)
-        self._started = False
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
     def _build_replicas(self) -> None:
-        for replica_id in range(self.config.num_replicas):
-            buffer_pool = BufferPool(capacity_bytes=self.config.buffer_bytes)
-            engine = DatabaseEngine(
-                catalog=self._catalog,
-                buffer_pool=buffer_pool,
-                config=self.config.engine,
-                rng=random.Random(self.config.seed * 1000 + replica_id),
-            )
-            resources = ReplicaResources.create(self.sim, replica_id)
-            replica = Replica(
-                replica_id=replica_id,
-                sim=self.sim,
-                engine=engine,
-                resources=resources,
-                certifier=self.certifier,
-                disk_model=self.config.disk,
-                proxy_config=self.config.proxy,
-            )
-            replica.metrics = self.metrics
-            replica.on_local_commit = self._on_local_commit
-            self.replicas[replica_id] = replica
-            self._outstanding[replica_id] = 0
-            self.monitor.register(replica_id, resources)
+        for _ in range(self.config.num_replicas):
+            self._activate_replica(self._make_replica(self._claim_replica_id()))
+
+    def _claim_replica_id(self) -> int:
+        replica_id = self._next_replica_id
+        self._next_replica_id += 1
+        return replica_id
+
+    def _make_replica(self, replica_id: int) -> Replica:
+        """Build one replica machine (engine + resources + proxy), unwired."""
+        buffer_pool = BufferPool(capacity_bytes=self.config.buffer_bytes)
+        engine = DatabaseEngine(
+            catalog=self._catalog,
+            buffer_pool=buffer_pool,
+            config=self.config.engine,
+            rng=random.Random(self.config.seed * 1000 + replica_id),
+        )
+        resources = ReplicaResources.create(self.sim, replica_id)
+        replica = Replica(
+            replica_id=replica_id,
+            sim=self.sim,
+            engine=engine,
+            resources=resources,
+            certifier=self.certifier,
+            disk_model=self.config.disk,
+            proxy_config=self.config.proxy,
+        )
+        replica.metrics = self.metrics
+        replica.on_local_commit = self._on_local_commit
+        return replica
+
+    def _activate_replica(self, replica: Replica) -> None:
+        """Put a replica in service: dispatchable, monitored, pulling updates."""
+        replica_id = replica.replica_id
+        self.replicas[replica_id] = replica
+        self._outstanding.setdefault(replica_id, 0)
+        self._inflight.setdefault(replica_id, {})
+        self.monitor.register(replica_id, replica.resources)
+        if self._started:
+            self._schedule_pulls(replica)
+
+    def _deactivate_replica(self, replica_id: int) -> Replica:
+        """Take a replica out of service (crash or graceful leave).
+
+        It disappears from the balancer's view and the monitor; outstanding
+        counters are kept so draining and crash-failing stay accountable.
+        """
+        replica = self.replicas.pop(replica_id)
+        self.monitor.unregister(replica_id)
+        return replica
+
+    def _schedule_pulls(self, replica: Replica) -> None:
+        """Start the replica's periodic update pull, once per replica id.
+
+        The loop stops itself when the replica leaves service (crash,
+        drain or retirement), so dead replicas do not keep firing no-op
+        events; re-activation schedules a fresh loop.
+        """
+        replica_id = replica.replica_id
+        if replica_id in self._pulls_scheduled:
+            return
+        self._pulls_scheduled.add(replica_id)
+
+        def tick() -> None:
+            if self.replicas.get(replica_id) is not replica:
+                self._pulls_scheduled.discard(replica_id)
+                return
+            replica.pull_updates()
+            self.sim.schedule(self.config.propagation_interval_s, tick)
+
+        self.sim.schedule(self.config.propagation_interval_s, tick)
+
+    def _fail_inflight(self, replica_id: int) -> int:
+        """Fail every transaction in flight at a (crashed) replica.
+
+        The clients' completion callbacks run with ``committed=False`` so
+        closed-loop clients immediately re-issue elsewhere.  Returns the
+        number of transactions failed.
+        """
+        pending = self._inflight.get(replica_id, {})
+        failed = 0
+        for done in list(pending.values()):
+            done(False)
+            failed += 1
+        return failed
+
+    def notify_membership_changed(self) -> None:
+        """Tell the balancer the replica set changed and re-push filters."""
+        self.balancer.on_membership_change()
+        self._install_filters()
+
+    # ------------------------------------------------------------------
+    # Live membership (elasticity)
+    # ------------------------------------------------------------------
+    @property
+    def membership(self) -> "MembershipManager":
+        """The cluster's live-membership API (lazily constructed)."""
+        if self._membership is None:
+            from repro.elasticity.membership import MembershipManager
+            self._membership = MembershipManager(self)
+        return self._membership
+
+    def add_replica(self) -> int:
+        """Grow the cluster by one replica (cold cache, catches up from the log)."""
+        return self.membership.add_replica()
+
+    def remove_replica(self, replica_id: int, drain: bool = True) -> None:
+        """Shrink the cluster, draining the replica's in-flight work first."""
+        self.membership.remove_replica(replica_id, drain=drain)
+
+    def crash_replica(self, replica_id: int) -> Replica:
+        """Fail a replica abruptly; its in-flight transactions are lost."""
+        return self.membership.crash_replica(replica_id)
+
+    def restore_replica(self, replica_id: int) -> int:
+        """Bring a crashed replica back; returns the writesets replayed."""
+        return self.membership.restore_replica(replica_id)
 
     # ------------------------------------------------------------------
     # ClusterView protocol (what the load balancer may see)
@@ -212,12 +326,19 @@ class ReplicatedCluster:
             raise KeyError("balancer chose unknown replica %r" % (replica_id,))
         self._outstanding[replica_id] += 1
         submitted_at = self.sim.now
+        token = next(self._inflight_tokens)
 
         def done(committed: bool) -> None:
+            # Registered until it runs; a crash fails all registered
+            # callbacks, and the pop makes every path run at most once (a
+            # late continuation of a crash-failed transaction is a no-op).
+            if self._inflight[replica_id].pop(token, None) is None:
+                return
             self._outstanding[replica_id] -= 1
             self.balancer.on_complete(replica_id, txn_type)
             on_complete()
 
+        self._inflight[replica_id][token] = done
         self.replicas[replica_id].submit(txn_type, submitted_at, done)
 
     def _on_local_commit(self, origin: Replica, entry: CertifiedWriteSet) -> None:
@@ -282,8 +403,7 @@ class ReplicatedCluster:
         self.clients.start()
         # Update propagation: every replica pulls on the proxy's interval.
         for replica in self.replicas.values():
-            self.sim.schedule_periodic(self.config.propagation_interval_s,
-                                       replica.pull_updates)
+            self._schedule_pulls(replica)
         # Load-balancer periodic work (re-allocation, filter activation).
         def balancer_tick() -> None:
             self.balancer.periodic(self.sim.now)

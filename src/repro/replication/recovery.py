@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.replication.certifier import Certifier
+from repro.replication.certifier import Certifier, CertifierStats
 from repro.replication.replica import Replica
 from repro.replication.writeset import CertifiedWriteSet
 
@@ -58,22 +58,51 @@ class ReplicatedCertifierLog:
                     raise RuntimeError("backup certifier diverged from the leader")
         return result
 
-    def fail_over(self) -> Certifier:
+    def fail_over(self, leader_failed: bool = True) -> Certifier:
         """Promote the most up-to-date backup to leader.
 
-        Returns the new leader.  Raises if no backup exists.
+        By default the old leader is presumed dead and is dropped from the
+        replica group (a crashed certifier cannot serve as a backup).  Pass
+        ``leader_failed=False`` for a planned handover, which demotes the old
+        leader to a backup instead.  Returns the new leader; raises if no
+        backup exists.
         """
         if not self.backups:
             raise RuntimeError("no backup certifier available for fail-over")
         best = max(self.backups, key=lambda c: c.current_version)
         self.backups.remove(best)
-        self.backups.append(self.leader)
+        if not leader_failed:
+            self.backups.append(self.leader)
         self.leader = best
         return self.leader
 
     @property
     def current_version(self) -> int:
         return self.leader.current_version
+
+    # ------------------------------------------------------------------
+    # Certifier interface delegation.  A ReplicatedCertifierLog can stand in
+    # for a plain Certifier inside a running cluster, so a mid-run fail-over
+    # is transparent to the replicas (they keep talking to this wrapper).
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CertifierStats:
+        return self.leader.stats
+
+    def writesets_since(self, version: int, limit: Optional[int] = None) -> List[CertifiedWriteSet]:
+        return self.leader.writesets_since(version, limit=limit)
+
+    def should_notify(self, replica_applied_version: int) -> bool:
+        return self.leader.should_notify(replica_applied_version)
+
+    def truncate(self, oldest_needed_version: int) -> int:
+        dropped = self.leader.truncate(oldest_needed_version)
+        for backup in self.backups:
+            backup.truncate(oldest_needed_version)
+        return dropped
+
+    def log_is_total_order(self) -> bool:
+        return self.leader.log_is_total_order()
 
 
 def recovery_replay_plan(certifier: Certifier, applied_version: int) -> List[CertifiedWriteSet]:

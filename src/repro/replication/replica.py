@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.replication.certifier import Certifier
-from repro.replication.proxy import ProxyConfig, ReplicaProxy
+from repro.replication.proxy import AdmissionController, ProxyConfig, ReplicaProxy
 from repro.replication.writeset import CertifiedWriteSet
 from repro.sim.metrics import MetricsCollector
 from repro.sim.resources import ReplicaResources
@@ -60,6 +60,12 @@ class Replica:
         self.completed = 0
         self.committed_updates = 0
         self.aborted = 0
+        # Elasticity: a replica can crash mid-run and be restored later.
+        # The epoch fences continuations of transactions that were in flight
+        # when the crash happened: events from an older epoch are dropped.
+        self.alive = True
+        self.epoch = 0
+        self.crashes = 0
 
     # ------------------------------------------------------------------
     # Transaction submission
@@ -67,15 +73,24 @@ class Replica:
     def submit(self, txn_type: TransactionType, submitted_at: float,
                on_done: CompletionCallback) -> None:
         """Accept a transaction from the load balancer."""
+        if not self.alive:
+            raise RuntimeError("replica %d is not alive" % (self.replica_id,))
         self.proxy.admission.admit(lambda: self._start(txn_type, submitted_at, on_done, attempt=1))
 
     def _start(self, txn_type: TransactionType, submitted_at: float,
                on_done: CompletionCallback, attempt: int) -> None:
+        if not self.alive:
+            # Crashed between admission and start (or before a retry); the
+            # cluster has already failed the transaction's callback.
+            return
+        epoch = self.epoch
         txn_id = next(self._txn_ids)
         snapshot = self.engine.snapshots.begin(txn_id)
         work, writeset = self.engine.execute(txn_type)
 
         def after_cpu() -> None:
+            if self.epoch != epoch:
+                return
             read_time = self.disk_model.read_seconds(
                 work.random_read_bytes, work.sequential_read_bytes
             )
@@ -85,6 +100,8 @@ class Replica:
                 after_reads()
 
         def after_reads() -> None:
+            if self.epoch != epoch:
+                return
             if writeset is None:
                 self._finish(txn_id, txn_type, submitted_at, work, committed=True,
                              on_done=on_done)
@@ -94,6 +111,10 @@ class Replica:
                               lambda: certify())
 
         def certify() -> None:
+            if self.epoch != epoch:
+                # The replica crashed before the commit registered; the
+                # transaction dies uncertified.
+                return
             stamped = writeset.__class__(
                 transaction_type=writeset.transaction_type,
                 items=writeset.items,
@@ -159,6 +180,26 @@ class Replica:
         on_done(committed)
 
     # ------------------------------------------------------------------
+    # Crash / restore (elasticity)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail the replica: in-flight transactions are abandoned.
+
+        The epoch bump fences every continuation already in the event queue;
+        the admission controller is rebuilt so queued-but-unstarted work is
+        discarded.  Durable state (the applied-version cursor) survives, as
+        it would on disk; the page cache is cleared by recovery.  Idempotent
+        while down.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.epoch += 1
+        self.crashes += 1
+        self.proxy.admission = AdmissionController(self.proxy.config.max_concurrency)
+        self.engine.snapshots.abort_open()
+
+    # ------------------------------------------------------------------
     # Update propagation
     # ------------------------------------------------------------------
     def apply_remote_writesets(self, entries: Sequence[CertifiedWriteSet]) -> None:
@@ -202,8 +243,10 @@ class Replica:
 
         Returns the number of writesets fetched.  Called periodically (the
         prototype pulls every 500 ms when idle) and by the certifier's lag
-        notifications.
+        notifications.  A crashed or retired replica pulls nothing.
         """
+        if not self.alive:
+            return 0
         entries = self.certifier.writesets_since(self.proxy.applied_version)
         if entries:
             self.apply_remote_writesets(entries)

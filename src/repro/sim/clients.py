@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Set
 
 from repro.sim.simulator import Simulator
 from repro.workloads.generator import WorkloadGenerator
@@ -62,6 +62,12 @@ class ClientPopulation:
         self.requests_issued = 0
         self.requests_completed = 0
         self._started = False
+        # Elasticity: the population can grow and shrink mid-run (flash
+        # crowds).  Clients with ids at or above the active target park
+        # themselves between transactions and are woken when it rises again.
+        self._active_target = config.clients
+        self._spawned = 0
+        self._parked: Set[int] = set()
 
     def start(self) -> None:
         """Start every client with a small random initial offset (idempotent).
@@ -72,9 +78,37 @@ class ClientPopulation:
         if self._started:
             return
         self._started = True
-        for client_id in range(self.config.clients):
+        self._spawn_up_to(self._active_target)
+
+    def _spawn_up_to(self, count: int) -> None:
+        for client_id in range(self._spawned, count):
             offset = self._rng.uniform(0.0, max(self.config.think_time_s, 0.05))
             self.sim.schedule(offset, self._make_issue(client_id))
+        self._spawned = max(self._spawned, count)
+
+    @property
+    def active_clients(self) -> int:
+        """Clients currently allowed to issue transactions."""
+        return self._active_target
+
+    def set_active_clients(self, count: int) -> None:
+        """Grow or shrink the closed-loop population (flash crowds).
+
+        Growing spawns new client loops (and wakes parked ones) immediately;
+        shrinking is graceful: excess clients finish their in-flight
+        transaction and then park instead of issuing another.
+        """
+        if count <= 0:
+            raise ValueError("client count must be positive")
+        self._active_target = count
+        if not self._started:
+            return
+        for client_id in sorted(self._parked):
+            if client_id < count:
+                self._parked.discard(client_id)
+                offset = self._rng.uniform(0.0, max(self.config.think_time_s, 0.05))
+                self.sim.schedule(offset, self._make_issue(client_id))
+        self._spawn_up_to(count)
 
     def _make_issue(self, client_id: int) -> Callable[[], None]:
         def issue() -> None:
@@ -82,6 +116,9 @@ class ClientPopulation:
         return issue
 
     def _issue(self, client_id: int) -> None:
+        if client_id >= self._active_target:
+            self._parked.add(client_id)
+            return
         txn_type = self.generator.next_type(self.sim.now)
         self.requests_issued += 1
 

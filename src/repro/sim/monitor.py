@@ -89,6 +89,10 @@ class ClusterMonitor:
     def register(self, replica_id: int, resources: ReplicaResources) -> None:
         self._monitors[replica_id] = ReplicaMonitor(resources, smoothing=self.smoothing)
 
+    def unregister(self, replica_id: int) -> None:
+        """Stop monitoring a replica that crashed or left the cluster."""
+        self._monitors.pop(replica_id, None)
+
     def start(self) -> None:
         """Begin periodic sampling (idempotent)."""
         if self._started:

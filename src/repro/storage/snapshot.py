@@ -71,6 +71,17 @@ class SnapshotManager:
         if version > self.applied_version:
             self.applied_version = version
 
+    def abort_open(self) -> int:
+        """Forget every in-flight transaction (crash path).
+
+        A crashed replica's open transactions die with it; their snapshots
+        must not keep pinning the oldest-active horizon after a restart.
+        Returns the number of transactions discarded.
+        """
+        count = len(self._snapshots)
+        self._snapshots.clear()
+        return count
+
     def lag(self, certified_version: int) -> int:
         """How many committed writesets this replica has not yet applied."""
         return max(0, certified_version - self.applied_version)

@@ -31,9 +31,17 @@ def test_initial_allocation_covers_all_replicas():
     assert all(count >= 1 for count in counts.values())
 
 
-def test_more_groups_than_replicas_rejected():
+def test_more_groups_than_replicas_share_machines():
+    alloc = ReplicaAllocator([group("A"), group("B"), group("C")], replica_ids=[0, 1])
+    counts = alloc.replica_counts()
+    assert all(count >= 1 for count in counts.values())
+    assert alloc.shared_replicas()  # at least one replica serves two groups
+    alloc.validate()
+
+
+def test_no_replicas_rejected():
     with pytest.raises(ValueError):
-        ReplicaAllocator([group("A"), group("B")], replica_ids=[0])
+        ReplicaAllocator([group("A")], replica_ids=[])
 
 
 def test_group_load_is_average_of_member_replicas():

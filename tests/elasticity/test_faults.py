@@ -1,0 +1,76 @@
+"""Tests for the fault injector: crashes, restarts, certifier fail-over."""
+
+import pytest
+
+from repro.core.baselines import LeastConnectionsBalancer
+from repro.elasticity.faults import FaultInjector
+from repro.replication.cluster import ClusterConfig, ReplicatedCluster
+from repro.storage.pages import mb
+
+from tests.conftest import make_tiny_workload
+
+
+def make_cluster(replicas=3, backups=0):
+    return ReplicatedCluster(
+        workload=make_tiny_workload(),
+        balancer=LeastConnectionsBalancer(),
+        config=ClusterConfig(num_replicas=replicas, replica_ram_bytes=mb(192),
+                             clients_per_replica=4, think_time_s=0.05,
+                             certifier_backups=backups, seed=5),
+        mix="balanced")
+
+
+def test_scheduled_crash_and_restart_recover_online():
+    cluster = make_cluster()
+    injector = FaultInjector(cluster, seed=2)
+    injector.schedule_crash(5.0, replica_id=1, downtime_s=5.0)
+    cluster.run(duration_s=20.0)
+    kinds = [r.kind for r in injector.records]
+    assert kinds == ["crash", "restart"]
+    assert injector.records[0].time == pytest.approx(5.0)
+    assert injector.records[1].time == pytest.approx(10.0)
+    assert 1 in cluster.replica_ids()
+    assert cluster.replicas[1].lag <= cluster.certifier.lag_notification_threshold
+
+
+def test_random_victim_is_chosen_at_fire_time():
+    cluster = make_cluster()
+    injector = FaultInjector(cluster, seed=9)
+    injector.schedule_crash(5.0, downtime_s=2.0)
+    cluster.run(duration_s=15.0)
+    crash = injector.records_of_kind("crash")[0]
+    assert crash.replica_id in (0, 1, 2)
+
+
+def test_crash_skipped_when_only_one_replica_remains():
+    cluster = make_cluster(replicas=1)
+    injector = FaultInjector(cluster, seed=1)
+    injector.schedule_crash(2.0)
+    cluster.run(duration_s=5.0)
+    assert injector.records_of_kind("skipped")
+    assert not injector.records_of_kind("crash")
+    assert cluster.replica_ids() == [0]
+
+
+def test_certifier_failover_is_transparent_to_the_cluster():
+    cluster = make_cluster(backups=2)
+    injector = FaultInjector(cluster, seed=1)
+    injector.schedule_certifier_failover(10.0)
+    result = cluster.run(duration_s=30.0)
+    failover = injector.records_of_kind("certifier-failover")[0]
+    assert "leader crash" in failover.detail
+    assert len(cluster.certifier.backups) == 1         # dead leader dropped
+    # Certification kept working across the fail-over.
+    assert cluster.certifier.current_version > 0
+    assert cluster.certifier.log_is_total_order()
+    for replica in cluster.replicas.values():
+        replica.pull_updates()
+        assert replica.proxy.applied_version == cluster.certifier.current_version
+    assert result.metrics.completed > 0
+
+
+def test_failover_requires_a_replicated_certifier():
+    cluster = make_cluster(backups=0)
+    injector = FaultInjector(cluster, seed=1)
+    with pytest.raises(RuntimeError):
+        injector.schedule_certifier_failover(5.0)

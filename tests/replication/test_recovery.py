@@ -32,6 +32,36 @@ def test_fail_over_without_backups_raises():
         log.fail_over()
 
 
+def test_fail_over_drops_the_dead_leader_by_default():
+    log = ReplicatedCertifierLog.create(num_backups=2)
+    old_leader = log.leader
+    log.fail_over()
+    # A crashed leader cannot serve as a backup: the group shrinks.
+    assert old_leader not in log.backups
+    assert len(log.backups) == 1
+
+
+def test_planned_handover_keeps_the_old_leader_as_backup():
+    log = ReplicatedCertifierLog.create(num_backups=2)
+    old_leader = log.leader
+    log.fail_over(leader_failed=False)
+    assert old_leader in log.backups
+    assert len(log.backups) == 2
+
+
+def test_certification_continues_after_leader_crash():
+    log = ReplicatedCertifierLog.create(num_backups=2)
+    for i in range(4):
+        log.certify(ws("a", i), snapshot_version=i)
+    log.fail_over()
+    result = log.certify(ws("a", 99), snapshot_version=4)
+    assert result.committed
+    assert log.current_version == 5
+    assert log.log_is_total_order()
+    # The promoted log serves propagation for lagging replicas.
+    assert [e.version for e in log.writesets_since(2)] == [3, 4, 5]
+
+
 def test_recover_replica_replays_missed_writesets():
     sim = Simulator()
     certifier = Certifier()
@@ -58,3 +88,43 @@ def test_recovery_restores_dropped_tables_and_clears_filters():
     assert replica.engine.dropped_tables == set()
     assert replica.proxy.filter_tables is None
     assert replica.engine.buffer_pool.resident_bytes == 0.0
+
+
+def test_online_recovery_under_concurrent_load():
+    """A replica crashed mid-run replays exactly the writesets it missed,
+    rejoins with filters cleared, and no certified update is lost."""
+    from repro.core.baselines import LeastConnectionsBalancer
+    from repro.replication.cluster import ClusterConfig, ReplicatedCluster
+    from repro.storage.pages import mb
+    from tests.conftest import make_tiny_workload
+
+    cluster = ReplicatedCluster(
+        workload=make_tiny_workload(),
+        balancer=LeastConnectionsBalancer(),
+        config=ClusterConfig(num_replicas=3, replica_ram_bytes=mb(192),
+                             clients_per_replica=4, think_time_s=0.05, seed=13),
+        mix="balanced")
+    cluster.start()
+    cluster.sim.run_until(8.0)
+
+    replica = cluster.crash_replica(1)
+    replica_applied_at_crash = replica.proxy.applied_version
+    replica.proxy.set_filter({"users"})          # stale filter left behind
+    cluster.sim.run_until(20.0)                  # traffic continues while down
+
+    version_before_restore = cluster.certifier.current_version
+    missed = version_before_restore - replica_applied_at_crash
+    assert missed > 0, "no updates committed while the replica was down"
+
+    replayed = cluster.restore_replica(1)
+    assert replayed == cluster.replicas[1].proxy.applied_version - replica_applied_at_crash
+    assert replayed >= missed                    # exactly the gap (plus any
+    assert replica.proxy.filter_tables is None   # commits in the same tick)
+
+    # No certified update is lost anywhere: after a final pull every live
+    # replica holds the certifier's full history.
+    cluster.sim.run_until(30.0)
+    for live in cluster.replicas.values():
+        live.pull_updates()
+        assert live.proxy.applied_version == cluster.certifier.current_version
+    assert cluster.certifier.log_is_total_order()

@@ -50,3 +50,44 @@ def test_invalid_client_config():
         ClientConfig(clients=0)
     with pytest.raises(ValueError):
         ClientConfig(clients=1, think_time_s=-0.1)
+
+
+def test_population_grows_mid_run(tiny_workload):
+    sim, pop, _ = _population(tiny_workload, clients=2, think=0.1, service=0.05)
+    pop.start()
+    sim.run_until(5.0)
+    rate_before = pop.requests_completed / 5.0
+    pop.set_active_clients(8)
+    assert pop.active_clients == 8
+    start_count = pop.requests_completed
+    sim.run_until(10.0)
+    rate_after = (pop.requests_completed - start_count) / 5.0
+    assert rate_after > 2 * rate_before
+
+
+def test_population_shrinks_gracefully(tiny_workload):
+    sim, pop, _ = _population(tiny_workload, clients=8, think=0.1, service=0.05)
+    pop.start()
+    sim.run_until(5.0)
+    pop.set_active_clients(2)
+    sim.run_until(6.0)                       # in-flight work finishes, excess park
+    start_count = pop.requests_completed
+    sim.run_until(11.0)
+    completed = pop.requests_completed - start_count
+    # 2 clients in a ~0.15 s loop: roughly 13/s, nowhere near 8 clients' rate.
+    assert completed < 5.0 * 2 / 0.15 * 1.5
+    assert pop.outstanding <= 2
+
+
+def test_parked_clients_wake_on_regrowth(tiny_workload):
+    sim, pop, _ = _population(tiny_workload, clients=6, think=0.1, service=0.05)
+    pop.start()
+    sim.run_until(3.0)
+    pop.set_active_clients(1)
+    sim.run_until(6.0)
+    assert pop.outstanding <= 1
+    pop.set_active_clients(6)
+    issued = pop.requests_issued
+    sim.run_until(9.0)
+    assert pop.requests_issued > issued
+    assert pop.outstanding <= 6

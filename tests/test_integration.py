@@ -31,7 +31,7 @@ def contention_workload():
     return WorkloadSpec(name="contention", schema=schema, types=types, mixes=mixes)
 
 
-def run_policy(balancer, replicas=4, ram=mb(192), duration=60.0, seed=5):
+def run_policy(balancer, replicas=4, ram=mb(192), duration=42.0, seed=5):
     cluster = ReplicatedCluster(
         workload=contention_workload(), balancer=balancer,
         config=ClusterConfig(num_replicas=replicas, replica_ram_bytes=ram,
@@ -72,6 +72,6 @@ def test_certified_updates_never_lost():
         config=ClusterConfig(num_replicas=3, replica_ram_bytes=mb(192),
                              clients_per_replica=4, think_time_s=0.05, seed=9),
         mix="mixed")
-    result = cluster.run(duration_s=40.0, warmup_s=10.0)
+    result = cluster.run(duration_s=24.0, warmup_s=8.0)
     updates_recorded = sum(1 for r in result.metrics.records if r.is_update)
     assert cluster.certifier.current_version >= updates_recorded
