@@ -1,0 +1,14 @@
+"""Performance-benchmark harness for the simulation core.
+
+Unlike the figure/table harnesses (which reproduce the *paper's* numbers),
+this package measures the *reproduction itself*: wall-clock time and
+simulator events per second on representative paper-scale scenarios, so
+that hot-path regressions are caught by comparing against the committed
+``BENCH_*.json`` trajectory.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.run --scenario all --out BENCH_PR2.json
+    PYTHONPATH=src python -m benchmarks.perf.run --scenario midsize-malb --quick \
+        --min-events-per-sec 8000        # CI smoke floor
+"""

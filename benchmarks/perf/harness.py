@@ -1,0 +1,132 @@
+"""Timing and reporting primitives for the perf-benchmark harness.
+
+A scenario produces a :class:`ScenarioTiming`; :func:`write_bench_json`
+serialises a set of timings to the ``BENCH_*.json`` schema:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "note": "free-form provenance string",
+      "python": "3.11.7 ...",
+      "platform": "Linux-...",
+      "scenarios": {
+        "fig6-dynamic": {
+          "wall_seconds": 12.3,
+          "sim_seconds": 1200.0,
+          "events_processed": 1491473,
+          "events_per_second": 121257.2,
+          "transactions_completed": 502086,
+          "throughput_tps": 435.4,
+          "extra": {"certifier_aborts": 7.0}
+        }
+      }
+    }
+
+``events_per_second`` (simulator events executed per wall-clock second) is
+the headline number: it is what the hot-path optimisations move and what
+the CI smoke floor guards.  ``throughput_tps`` and the other simulation
+outputs are included so a perf regression that *changes results* (rather
+than merely slowing down) is visible in the same file.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclass
+class ScenarioTiming:
+    """Wall-clock measurements of one perf scenario."""
+
+    name: str
+    wall_seconds: float
+    sim_seconds: float
+    events_processed: int
+    transactions_completed: int
+    throughput_tps: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def events_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_processed / self.wall_seconds
+
+    def as_dict(self) -> Dict:
+        return {
+            "wall_seconds": round(self.wall_seconds, 4),
+            "sim_seconds": round(self.sim_seconds, 3),
+            "events_processed": self.events_processed,
+            "events_per_second": round(self.events_per_second, 1),
+            "transactions_completed": self.transactions_completed,
+            "throughput_tps": round(self.throughput_tps, 3),
+            "extra": {k: round(v, 4) for k, v in sorted(self.extra.items())},
+        }
+
+
+def timed(fn: Callable[[], None]) -> float:
+    """Wall-clock seconds spent inside ``fn``."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def time_cluster(name: str, cluster, duration_s: float, warmup_s: float,
+                 extra: Optional[Dict[str, float]] = None) -> ScenarioTiming:
+    """Run a built :class:`ReplicatedCluster` and time the event loop."""
+    start = time.perf_counter()
+    result = cluster.run(duration_s=duration_s, warmup_s=warmup_s)
+    wall = time.perf_counter() - start
+    merged = {"certifier_aborts": float(cluster.certifier.stats.aborts)}
+    if extra:
+        merged.update(extra)
+    return ScenarioTiming(
+        name=name,
+        wall_seconds=wall,
+        sim_seconds=duration_s,
+        events_processed=cluster.sim.events_processed,
+        transactions_completed=result.metrics.completed,
+        throughput_tps=result.throughput_tps,
+        extra=merged,
+    )
+
+
+def write_bench_json(path: str, timings: Dict[str, ScenarioTiming], note: str = "") -> None:
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "note": note,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "scenarios": {name: t.as_dict() for name, t in sorted(timings.items())},
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_bench_json(path: str) -> Dict:
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("schema_version") != BENCH_SCHEMA_VERSION:
+        raise ValueError("unsupported bench schema version %r"
+                         % (payload.get("schema_version"),))
+    return payload
+
+
+def format_table(timings: Dict[str, ScenarioTiming]) -> str:
+    lines = ["%-22s %10s %12s %14s %12s %12s"
+             % ("scenario", "wall (s)", "sim (s)", "events", "events/s", "tps")]
+    for name in sorted(timings):
+        t = timings[name]
+        lines.append("%-22s %10.2f %12.1f %14d %12.0f %12.1f"
+                     % (name, t.wall_seconds, t.sim_seconds, t.events_processed,
+                        t.events_per_second, t.throughput_tps))
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Perf-harness scenarios: representative paper-scale workloads, timed.
+
+Each scenario is a callable ``(quick: bool) -> ScenarioTiming``.  ``quick``
+shrinks the scenario for the CI smoke job; the committed ``BENCH_*.json``
+trajectories are produced with ``quick=False``.
+
+Scenarios:
+
+* ``midsize-malb`` -- the mid-size TPC-W/MALB-SC scenario shared with the
+  determinism golden test (tests/sim/test_determinism_golden.py).  This is
+  the CI smoke scenario: ~1 s of wall clock.
+* ``fig6-dynamic`` -- the Figure 6 dynamic-reconfiguration experiment at
+  paper scale (16 replicas, 1200 simulated seconds, three mix phases); the
+  headline benchmark for the hot-path optimisations.
+* ``flash-crowd`` -- the elasticity flash crowd (autoscaler, crash plus
+  online recovery, certifier fail-over); exercises membership churn paths.
+* ``certifier-micro`` -- certification-heavy microbenchmark: hundreds of
+  thousands of certifications against one Certifier with periodic log
+  truncation, isolating the inverted-index conflict check from the rest of
+  the simulator.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict
+
+from benchmarks.perf.harness import ScenarioTiming, time_cluster
+
+
+def _midsize(quick: bool) -> ScenarioTiming:
+    from dataclasses import replace
+    from repro.experiments.configs import golden_midsize_config
+    from repro.experiments.runner import build_cluster
+    config = golden_midsize_config()
+    if quick:
+        config = replace(config, duration_s=60.0, warmup_s=15.0)
+    cluster = build_cluster(config)
+    return time_cluster("midsize-malb", cluster,
+                        duration_s=config.duration_s, warmup_s=config.warmup_s)
+
+
+def _fig6_dynamic(quick: bool) -> ScenarioTiming:
+    from repro.experiments.configs import figure6_configs
+    from repro.experiments.runner import build_cluster
+    dynamic = figure6_configs(phase_length_s=120.0 if quick else 400.0)[0]
+    cluster = build_cluster(dynamic)
+    return time_cluster("fig6-dynamic", cluster,
+                        duration_s=dynamic.duration_s, warmup_s=dynamic.warmup_s)
+
+
+def _flash_crowd(quick: bool) -> ScenarioTiming:
+    from repro.experiments.elasticity import flash_crowd_scenario, run_elastic_experiment
+    scenario = flash_crowd_scenario(autoscale=True, with_faults=not quick)
+    start = time.perf_counter()
+    result = run_elastic_experiment(scenario)
+    wall = time.perf_counter() - start
+    return ScenarioTiming(
+        name="flash-crowd",
+        wall_seconds=wall,
+        sim_seconds=scenario.base.duration_s,
+        events_processed=result.events_processed,
+        transactions_completed=result.run.metrics.completed,
+        throughput_tps=result.run.throughput_tps,
+        extra={
+            "peak_replicas": float(result.peak_replicas),
+            "lost_certified_updates": float(result.lost_certified_updates),
+            "surge_throughput_tps": result.surge_throughput_tps,
+        },
+    )
+
+
+def _certifier_micro(quick: bool) -> ScenarioTiming:
+    from repro.replication.certifier import Certifier
+    from repro.storage.engine import WriteItem, WriteSet
+
+    requests = 50_000 if quick else 250_000
+    key_space = 20_000
+    tables = ["order_line", "orders", "cc_xacts", "item", "shopping_cart_line"]
+    rng = random.Random(42)
+    certifier = Certifier()
+    # Replicas certify against snapshots a bounded number of versions old;
+    # small lags generate realistic conflict probabilities.
+    start = time.perf_counter()
+    for i in range(requests):
+        items = tuple(
+            WriteItem(relation=rng.choice(tables),
+                      keys=(rng.randrange(key_space), rng.randrange(key_space)),
+                      payload_bytes=256, pages_dirtied=1)
+            for _ in range(2)
+        )
+        writeset = WriteSet(transaction_type="micro", items=items)
+        snapshot = max(0, certifier.current_version - rng.randrange(8))
+        certifier.certify(writeset, snapshot_version=snapshot, now=float(i))
+        if i % 1000 == 999:
+            # Periodic truncation, as the cluster wires it in.
+            certifier.truncate(max(0, certifier.current_version - 2000))
+    wall = time.perf_counter() - start
+    return ScenarioTiming(
+        name="certifier-micro",
+        wall_seconds=wall,
+        sim_seconds=0.0,
+        events_processed=requests,
+        transactions_completed=certifier.stats.commits,
+        throughput_tps=certifier.stats.commits / wall if wall > 0 else 0.0,
+        extra={
+            "aborts": float(certifier.stats.aborts),
+            "retained_log_entries": float(len(certifier.log)),
+            "conflict_index_entries": float(len(certifier._last_writer)),
+        },
+    )
+
+
+SCENARIOS: Dict[str, Callable[[bool], ScenarioTiming]] = {
+    "midsize-malb": _midsize,
+    "fig6-dynamic": _fig6_dynamic,
+    "flash-crowd": _flash_crowd,
+    "certifier-micro": _certifier_micro,
+}

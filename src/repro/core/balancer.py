@@ -19,7 +19,6 @@ catalog metadata and plans) -- never the simulator's ground truth.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol, Set
 
 from repro.sim.monitor import LoadSample
@@ -59,6 +58,31 @@ class ClusterView(Protocol):
     def workload(self) -> WorkloadSpec:
         """The set of transaction types the application has registered."""
         ...
+
+
+def least_loaded(view: "ClusterView", candidates) -> int:
+    """The candidate with the fewest outstanding transactions (ties: lowest id).
+
+    Equivalent to ``min(candidates, key=lambda rid: (view.outstanding(rid),
+    rid))`` but without building a key tuple per candidate -- this runs once
+    per dispatched transaction, which makes it one of the simulator's hottest
+    loops.  Views that expose ``outstanding_map`` (the real cluster does)
+    save one method call per candidate.
+    """
+    counts = getattr(view, "outstanding_map", None)
+    if callable(counts):
+        counts = counts()
+    best = -1
+    best_outstanding = -1
+    for rid in candidates:
+        outstanding = counts[rid] if counts is not None else view.outstanding(rid)
+        if best < 0 or outstanding < best_outstanding or \
+                (outstanding == best_outstanding and rid < best):
+            best = rid
+            best_outstanding = outstanding
+    if best < 0:
+        raise ValueError("least_loaded needs at least one candidate")
+    return best
 
 
 class LoadBalancer(abc.ABC):

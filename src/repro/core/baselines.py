@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from repro.core.balancer import LoadBalancer
+from repro.core.balancer import LoadBalancer, least_loaded
 from repro.workloads.spec import TransactionType
 
 
@@ -58,7 +58,7 @@ class LeastConnectionsBalancer(LoadBalancer):
         replicas = view.replica_ids()
         if not replicas:
             raise RuntimeError("cluster has no replicas")
-        return min(replicas, key=lambda rid: (view.outstanding(rid), rid))
+        return least_loaded(view, replicas)
 
 
 @dataclass
@@ -101,8 +101,7 @@ class LardBalancer(LoadBalancer):
         return self._types[type_name]
 
     def _least_loaded(self, candidates: List[int]) -> int:
-        view = self._require_view()
-        return min(candidates, key=lambda rid: (view.outstanding(rid), rid))
+        return least_loaded(self._require_view(), candidates)
 
     def choose_replica(self, txn_type: TransactionType) -> int:
         view = self._require_view()

@@ -18,7 +18,7 @@ estimate under-states them (Section 5.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, Mapping
 
 from repro.core.working_set import WorkingSetEstimate
 from repro.storage.catalog import Catalog
@@ -95,6 +95,15 @@ def measure_working_set(engine_factory, txn_type: TransactionType,
     (smallest first) and returns the smallest size at which the steady-state
     disk read volume per execution stays below ``disk_spike_threshold_kb``.
     If no candidate is large enough the largest candidate is returned.
+
+    The warm-up phase runs the type to discover the relations (and hot-set
+    sizes) it touches, then fills the cache with those hot sets up to the
+    candidate capacity before measuring.  Random-access types with large
+    hot sets populate the cache only by their own misses -- a few hundred
+    executions touch a tiny fraction of a multi-hundred-MB working set --
+    so measuring right after an execution-only warm-up reports a cold-cache
+    spike at *every* memory size and the measurement saturates at the
+    largest candidate (the failure mode this function had since the seed).
     """
     sizes = sorted(set(int(s) for s in memory_sizes_bytes))
     if not sizes:
@@ -102,10 +111,18 @@ def measure_working_set(engine_factory, txn_type: TransactionType,
     chosen = sizes[-1]
     for size in sizes:
         engine = engine_factory(size)
-        # Warm-up: run half the executions to populate the cache.
-        warmup = max(1, executions // 2)
+        pool = engine.buffer_pool
+        # Discover the type's access footprint, then warm to steady state:
+        # every still-tracked hot set fully cached, least-recently-used
+        # data evicted if the candidate memory cannot hold them all.  (A
+        # relation fully evicted during discovery is no longer tracked and
+        # starts cold -- that only inflates misses at candidates already
+        # too small to hold the working set, i.e. sizes being rejected.)
+        warmup = max(1, executions // 4)
         for _ in range(warmup):
             engine.execute(txn_type)
+        for relation in pool.tracked_relations():
+            pool.warm(relation, pool.hot_set_bytes_of(relation))
         read_bytes = 0.0
         measured = max(1, executions - warmup)
         for _ in range(measured):

@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from repro.core.allocation import ReplicaAllocator
-from repro.core.balancer import LoadBalancer
+from repro.core.balancer import LoadBalancer, least_loaded
 from repro.core.estimator import WorkingSetEstimator
 from repro.core.grouping import (
     GroupingMethod,
@@ -289,7 +289,7 @@ class MemoryAwareLoadBalancer(LoadBalancer):
             candidates = allocator.replicas_of(group_id)
             if not candidates:
                 candidates = view.replica_ids()
-        return min(candidates, key=lambda rid: (view.outstanding(rid), rid))
+        return least_loaded(view, candidates)
 
     # ------------------------------------------------------------------
     # Periodic work: re-allocation, re-grouping, filtering activation
@@ -326,7 +326,16 @@ class MemoryAwareLoadBalancer(LoadBalancer):
                               or allocator._try_contract(loads))
                     if action is not None:
                         allocator.actions.append(action)
-                        self._last_move_time = now
+                        # Deliberately NOT counted as instability for the
+                        # update-filtering gate: these are bounded local
+                        # utilisation tweaks, and under steady paper-scale
+                        # load one fires almost every period -- counting
+                        # them kept pushing _last_move_time forward, so
+                        # filtering never activated and MALB-SC+UF silently
+                        # degenerated to MALB-SC (Figure 7's mechanism).
+                        # _enable_filtering recomputes the plan from the
+                        # assignment as it stands and freezes it, so a
+                        # just-merged allocation is a valid starting point.
 
         if self.update_filtering and self.filter_plan is None:
             if self._filtering_active_since is None:

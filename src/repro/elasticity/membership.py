@@ -77,6 +77,16 @@ class MembershipManager:
     def events_of_kind(self, kind: str) -> List[MembershipEvent]:
         return [event for event in self.events if event.kind == kind]
 
+    def returnable_replicas(self) -> List[Replica]:
+        """Replicas out of service that may still need the certifier log.
+
+        Crashed replicas can be restored (replaying from their applied
+        version) and draining replicas still have transactions in flight;
+        both must hold the certifier-log truncation floor down.  Retired
+        replicas never come back and are excluded.
+        """
+        return list(self.crashed.values()) + list(self._draining.values())
+
     # ------------------------------------------------------------------
     # Join
     # ------------------------------------------------------------------

@@ -358,3 +358,50 @@ EXPERIMENT_INDEX: Dict[str, str] = {
     "section5.3_working_sets": "benchmarks/test_sec53_working_set_measurement.py",
     "section5.3_merging": "benchmarks/test_sec53_merging_ablation.py",
 }
+
+
+# ----------------------------------------------------------------------
+# Perf-harness / determinism scenarios (not paper artefacts).
+# ----------------------------------------------------------------------
+def golden_midsize_config(seed: int = 3) -> ExperimentConfig:
+    """Mid-size TPC-W/MALB-SC scenario shared by the determinism golden test
+    and the perf harness's CI smoke scenario.
+
+    Small enough for tier-1 (~1 s of wall clock), large enough to exercise
+    the full simulate-execute-certify-propagate loop: memory contention,
+    conflicts and retries, update propagation, periodic rebalancing and
+    certifier-log truncation.
+    """
+    return ExperimentConfig(
+        name="golden-mid",
+        workload="tpcw",
+        db_label="MidDB",
+        mix="ordering",
+        ram_mb=512,
+        policy="MALB-SC",
+        num_replicas=6,
+        clients_per_replica=8,
+        think_time_s=0.25,
+        duration_s=120.0,
+        warmup_s=30.0,
+        seed=seed,
+    )
+
+
+def golden_update_filtering_config(seed: int = 5) -> ExperimentConfig:
+    """RUBiS/MALB-SC+UF golden scenario: covers the update-filtering paths
+    (filtered writeset application, filter re-planning) the mid-size TPC-W
+    scenario does not reach."""
+    return ExperimentConfig(
+        name="golden-uf",
+        workload="rubis",
+        mix="bidding",
+        ram_mb=512,
+        policy="MALB-SC+UF",
+        num_replicas=4,
+        clients_per_replica=6,
+        think_time_s=0.25,
+        duration_s=90.0,
+        warmup_s=20.0,
+        seed=seed,
+    )

@@ -14,10 +14,9 @@ A cluster with ``num_replicas=1`` and a round-robin balancer doubles as the
 
 from __future__ import annotations
 
-import itertools
 import random
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from repro.core.balancer import LoadBalancer
 from repro.replication.certifier import Certifier
@@ -63,6 +62,10 @@ class ClusterConfig:
     monitor_interval_s: float = 5.0
     balancer_period_s: float = 5.0
     propagation_interval_s: float = 0.5
+    #: How often the certifier log is truncated to the version every replica
+    #: (live, draining or crashed-but-restorable) has already applied, so the
+    #: log stops growing without bound on long runs.  0 disables truncation.
+    log_truncation_interval_s: float = 30.0
     warm_start: bool = True
     seed: int = 1
     #: Number of synchronous certifier backups (the paper runs a leader plus
@@ -76,6 +79,8 @@ class ClusterConfig:
             raise ValueError("num_replicas must be positive")
         if self.certifier_backups < 0:
             raise ValueError("certifier_backups cannot be negative")
+        if self.log_truncation_interval_s < 0:
+            raise ValueError("log_truncation_interval_s cannot be negative")
         if self.replica_ram_bytes <= self.memory_overhead_bytes:
             raise ValueError("replica RAM must exceed the fixed memory overhead")
         if self.clients_per_replica <= 0:
@@ -147,7 +152,7 @@ class ReplicatedCluster:
         self.replicas: Dict[int, Replica] = {}
         self._outstanding: Dict[int, int] = {}
         self._inflight: Dict[int, Dict[int, Callable[[bool], None]]] = {}
-        self._inflight_tokens = itertools.count(1)
+        self._inflight_token = 0
         self._pulls_scheduled: Set[int] = set()
         self._next_replica_id = 0
         self._membership: Optional["MembershipManager"] = None
@@ -239,9 +244,9 @@ class ReplicatedCluster:
                 self._pulls_scheduled.discard(replica_id)
                 return
             replica.pull_updates()
-            self.sim.schedule(self.config.propagation_interval_s, tick)
+            self.sim.defer(self.config.propagation_interval_s, tick)
 
-        self.sim.schedule(self.config.propagation_interval_s, tick)
+        self.sim.defer(self.config.propagation_interval_s, tick)
 
     def _fail_inflight(self, replica_id: int) -> int:
         """Fail every transaction in flight at a (crashed) replica.
@@ -298,6 +303,14 @@ class ReplicatedCluster:
     def outstanding(self, replica_id: int) -> int:
         return self._outstanding[replica_id]
 
+    def outstanding_map(self) -> Dict[int, int]:
+        """Per-replica outstanding counts (read-only fast path for balancers).
+
+        May contain entries for replicas no longer in service; balancers
+        index it with the candidate ids they already hold.
+        """
+        return self._outstanding
+
     def load(self, replica_id: int) -> LoadSample:
         return self.monitor.load_of(replica_id)
 
@@ -322,24 +335,25 @@ class ReplicatedCluster:
     def _submit(self, txn_type: TransactionType, client_id: int,
                 on_complete) -> None:
         replica_id = self.balancer.dispatch(txn_type)
-        if replica_id not in self.replicas:
+        replica = self.replicas.get(replica_id)
+        if replica is None:
             raise KeyError("balancer chose unknown replica %r" % (replica_id,))
         self._outstanding[replica_id] += 1
-        submitted_at = self.sim.now
-        token = next(self._inflight_tokens)
+        token = self._inflight_token = self._inflight_token + 1
+        pending = self._inflight[replica_id]
 
         def done(committed: bool) -> None:
             # Registered until it runs; a crash fails all registered
             # callbacks, and the pop makes every path run at most once (a
             # late continuation of a crash-failed transaction is a no-op).
-            if self._inflight[replica_id].pop(token, None) is None:
+            if pending.pop(token, None) is None:
                 return
             self._outstanding[replica_id] -= 1
             self.balancer.on_complete(replica_id, txn_type)
             on_complete()
 
-        self._inflight[replica_id][token] = done
-        self.replicas[replica_id].submit(txn_type, submitted_at, done)
+        pending[token] = done
+        replica.submit(txn_type, self.sim.now, done)
 
     def _on_local_commit(self, origin: Replica, entry: CertifiedWriteSet) -> None:
         """Piggyback propagation: the committing replica is already up to date;
@@ -356,6 +370,43 @@ class ReplicatedCluster:
         """Push the balancer's current update-filtering decision to the proxies."""
         for replica_id, replica in self.replicas.items():
             replica.proxy.set_filter(self.balancer.filter_tables(replica_id))
+
+    # ------------------------------------------------------------------
+    # Certifier-log truncation
+    # ------------------------------------------------------------------
+    def certifier_truncation_floor(self) -> int:
+        """Oldest version any current or returning replica could still need.
+
+        The floor is the minimum over (a) the applied version of every
+        replica that may yet pull or replay from the log -- in service,
+        draining, or crashed but restorable -- and (b) the oldest snapshot
+        of any in-flight transaction, because certification compares a
+        writeset against everything committed since its snapshot.  Retired
+        replicas never return and are excluded; membership churn from the
+        elasticity subsystem is therefore respected by construction.
+        """
+        replicas = list(self.replicas.values())
+        if self._membership is not None:
+            replicas.extend(self._membership.returnable_replicas())
+        if not replicas:
+            return 0
+        floor = min(replica.proxy.applied_version for replica in replicas)
+        for replica in replicas:
+            oldest = replica.engine.snapshots.oldest_active_snapshot()
+            if oldest is not None and oldest < floor:
+                floor = oldest
+        return floor
+
+    def truncate_certifier_log(self) -> int:
+        """Drop certifier-log entries below the truncation floor.
+
+        Called periodically (``log_truncation_interval_s``); safe to call at
+        any time.  Returns the number of entries dropped.
+        """
+        floor = self.certifier_truncation_floor()
+        if floor <= 0:
+            return 0
+        return self.certifier.truncate(floor)
 
     # ------------------------------------------------------------------
     # Running
@@ -410,6 +461,11 @@ class ReplicatedCluster:
             self._install_filters()
 
         self.sim.schedule_periodic(self.config.balancer_period_s, balancer_tick)
+        # Certifier-log truncation: without it the log retains every
+        # writeset ever certified, a memory leak on long runs.
+        if self.config.log_truncation_interval_s > 0:
+            self.sim.schedule_periodic(self.config.log_truncation_interval_s,
+                                       lambda: self.truncate_certifier_log())
 
     def run(self, duration_s: float, warmup_s: float = 0.0) -> RunResult:
         """Run the simulation for ``duration_s`` simulated seconds."""

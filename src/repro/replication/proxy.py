@@ -20,7 +20,7 @@ event loop.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, Optional, Set
 
 
@@ -52,6 +52,9 @@ class ProxyConfig:
 
 class AdmissionController:
     """Gatekeeper-style admission control: bounded in-database concurrency."""
+
+    __slots__ = ("max_concurrency", "active", "_waiting", "admitted_total",
+                 "queued_total")
 
     def __init__(self, max_concurrency: int) -> None:
         if max_concurrency <= 0:
@@ -90,6 +93,9 @@ class AdmissionController:
 
 class ReplicaProxy:
     """Per-replica middleware state: admission, filtering, propagation cursor."""
+
+    __slots__ = ("replica_id", "config", "admission", "filter_tables",
+                 "applied_version", "writesets_applied", "writesets_filtered")
 
     def __init__(self, replica_id: int, config: Optional[ProxyConfig] = None) -> None:
         self.replica_id = replica_id

@@ -21,7 +21,7 @@ This module provides that machinery for the simulated system:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.replication.certifier import Certifier, CertifierStats
 from repro.replication.replica import Replica
@@ -80,6 +80,10 @@ class ReplicatedCertifierLog:
     def current_version(self) -> int:
         return self.leader.current_version
 
+    @property
+    def oldest_available_version(self) -> int:
+        return self.leader.oldest_available_version
+
     # ------------------------------------------------------------------
     # Certifier interface delegation.  A ReplicatedCertifierLog can stand in
     # for a plain Certifier inside a running cluster, so a mid-run fail-over
@@ -127,7 +131,17 @@ def recover_replica(replica: Replica, certifier: Optional[Certifier] = None,
     for table in list(replica.engine.dropped_tables):
         replica.engine.restore_table(table)
     replica.proxy.set_filter(None)
-    entries = recovery_replay_plan(source, replica.proxy.applied_version)
+    # Entries below the certifier's retention horizon have been truncated;
+    # that prefix is restored from another copy in the cluster (the paper's
+    # alternative recovery source) and only the retained suffix is replayed
+    # from the log.  Affects cold joiners and replicas that crashed before a
+    # truncation; live replicas always sit above the horizon because the
+    # truncation floor tracks their applied versions.
+    horizon = getattr(source, "oldest_available_version", 1) - 1
+    if replica.proxy.applied_version < horizon:
+        replica.proxy.advance(horizon)
+        replica.engine.snapshots.advance(horizon)
+    entries = source.writesets_since(replica.proxy.applied_version)
     if entries:
         replica.apply_remote_writesets(entries)
     return len(entries)

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Optional, Set
+from math import log
+from typing import Callable, Dict, Optional, Set
 
 from repro.sim.simulator import Simulator
 from repro.workloads.generator import WorkloadGenerator
@@ -59,6 +60,8 @@ class ClientPopulation:
         self.generator = generator
         self.submit = submit
         self._rng = random.Random(config.seed ^ 0x5EED)
+        self._think_lambd: Optional[float] = \
+            (1.0 / config.think_time_s) if config.think_time_s > 0 else None
         self.requests_issued = 0
         self.requests_completed = 0
         self._started = False
@@ -68,6 +71,11 @@ class ClientPopulation:
         self._active_target = config.clients
         self._spawned = 0
         self._parked: Set[int] = set()
+        # Per-client callbacks, created once: a client completes hundreds of
+        # thousands of transactions, so its issue/complete closures must not
+        # be re-allocated per transaction.
+        self._issue_callbacks: Dict[int, Callable[[], None]] = {}
+        self._complete_callbacks: Dict[int, Callable[[], None]] = {}
 
     def start(self) -> None:
         """Start every client with a small random initial offset (idempotent).
@@ -83,7 +91,7 @@ class ClientPopulation:
     def _spawn_up_to(self, count: int) -> None:
         for client_id in range(self._spawned, count):
             offset = self._rng.uniform(0.0, max(self.config.think_time_s, 0.05))
-            self.sim.schedule(offset, self._make_issue(client_id))
+            self.sim.defer(offset, self._make_issue(client_id))
         self._spawned = max(self._spawned, count)
 
     @property
@@ -107,13 +115,30 @@ class ClientPopulation:
             if client_id < count:
                 self._parked.discard(client_id)
                 offset = self._rng.uniform(0.0, max(self.config.think_time_s, 0.05))
-                self.sim.schedule(offset, self._make_issue(client_id))
+                self.sim.defer(offset, self._make_issue(client_id))
         self._spawn_up_to(count)
 
     def _make_issue(self, client_id: int) -> Callable[[], None]:
-        def issue() -> None:
-            self._issue(client_id)
+        issue = self._issue_callbacks.get(client_id)
+        if issue is None:
+            def issue() -> None:
+                self._issue(client_id)
+            self._issue_callbacks[client_id] = issue
         return issue
+
+    def _make_complete(self, client_id: int) -> Callable[[], None]:
+        on_complete = self._complete_callbacks.get(client_id)
+        if on_complete is None:
+            issue = self._make_issue(client_id)
+            sim = self.sim
+
+            def on_complete() -> None:
+                self.requests_completed += 1
+                # Think times are never negative and never cancelled: push
+                # straight onto the event queue.
+                sim.queue.push_bare(sim.now + self._think_time(), issue)
+            self._complete_callbacks[client_id] = on_complete
+        return on_complete
 
     def _issue(self, client_id: int) -> None:
         if client_id >= self._active_target:
@@ -121,19 +146,18 @@ class ClientPopulation:
             return
         txn_type = self.generator.next_type(self.sim.now)
         self.requests_issued += 1
-
-        def on_complete() -> None:
-            self.requests_completed += 1
-            think = self._think_time()
-            self.sim.schedule(think, self._make_issue(client_id))
-
-        self.submit(txn_type, client_id, on_complete)
+        self.submit(txn_type, client_id, self._make_complete(client_id))
 
     def _think_time(self) -> float:
-        mean = self.config.think_time_s
-        if mean <= 0:
+        # Inline exponential draw: -ln(1 - U) / lambda, U = rng.random().
+        # Identical to random.Random.expovariate on Python 3.11+, and --
+        # unlike delegating to the stdlib, whose expovariate implementation
+        # changed across versions -- it draws the same value on every
+        # supported Python, which keeps seeded runs reproducible everywhere.
+        lambd = self._think_lambd
+        if lambd is None:
             return 0.0
-        return self._rng.expovariate(1.0 / mean)
+        return -log(1.0 - self._rng.random()) / lambd
 
     @property
     def outstanding(self) -> int:

@@ -7,19 +7,27 @@ reconfiguration experiment (Figure 6).  This module collects exactly those
 quantities, with a configurable warm-up period that is excluded from the
 reported averages (the prototype experiments similarly measure steady
 state).
+
+The collector *streams*: completions update running sums and per-type /
+per-replica / per-bucket counters, so memory is O(types x replicas +
+run length / bucket) instead of one retained record per transaction --
+paper-scale runs complete hundreds of thousands of transactions, and
+retaining a ``CompletionRecord`` for each dominated the simulator's memory
+footprint.  Set ``retain_records = True`` before a run to additionally keep
+the full per-transaction trace for debugging.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.storage.pages import KB
 
 
 @dataclass
 class CompletionRecord:
-    """One completed transaction."""
+    """One completed transaction (retained only when ``retain_records``)."""
 
     time: float
     transaction_type: str
@@ -48,8 +56,18 @@ class MetricsCollector:
             raise ValueError("bucket size must be positive")
         self.warmup_seconds = warmup_seconds
         self.bucket_seconds = bucket_seconds
+        #: Opt-in full per-transaction trace (debugging / fine-grained tests).
+        self.retain_records = False
         self.records: List[CompletionRecord] = []
         self._buckets: Dict[int, int] = {}
+        # Streaming aggregates over post-warmup completions.
+        self._completed = 0
+        self._updates = 0
+        self._response_time_total = 0.0
+        self._foreground_read_bytes = 0.0
+        self._foreground_write_bytes = 0.0
+        self._by_replica: Dict[int, int] = {}
+        self._by_type: Dict[str, int] = {}
         # Write-back volume not attributable to a single local transaction
         # (remote writeset application), charged per replica.
         self.background_write_bytes: Dict[int, float] = {}
@@ -63,27 +81,41 @@ class MetricsCollector:
     def record_completion(self, time: float, transaction_type: str, replica_id: int,
                           response_time: float, is_update: bool,
                           read_bytes: float, write_bytes: float) -> None:
-        self.end_time = max(self.end_time, time)
+        if time > self.end_time:
+            self.end_time = time
         bucket = int(time // self.bucket_seconds)
-        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+        buckets = self._buckets
+        buckets[bucket] = buckets.get(bucket, 0) + 1
         if time < self.warmup_seconds:
             return
-        self.records.append(
-            CompletionRecord(
-                time=time,
-                transaction_type=transaction_type,
-                replica_id=replica_id,
-                response_time=response_time,
-                is_update=is_update,
-                read_bytes=read_bytes,
-                write_bytes=write_bytes,
+        self._completed += 1
+        self._response_time_total += response_time
+        if is_update:
+            self._updates += 1
+        self._foreground_read_bytes += read_bytes
+        self._foreground_write_bytes += write_bytes
+        by_replica = self._by_replica
+        by_replica[replica_id] = by_replica.get(replica_id, 0) + 1
+        by_type = self._by_type
+        by_type[transaction_type] = by_type.get(transaction_type, 0) + 1
+        if self.retain_records:
+            self.records.append(
+                CompletionRecord(
+                    time=time,
+                    transaction_type=transaction_type,
+                    replica_id=replica_id,
+                    response_time=response_time,
+                    is_update=is_update,
+                    read_bytes=read_bytes,
+                    write_bytes=write_bytes,
+                )
             )
-        )
 
     def record_background_io(self, time: float, replica_id: int,
                              read_bytes: float, write_bytes: float) -> None:
         """Charge I/O caused by remote-writeset application at a replica."""
-        self.end_time = max(self.end_time, time)
+        if time > self.end_time:
+            self.end_time = time
         if time < self.warmup_seconds:
             return
         self.background_read_bytes[replica_id] = \
@@ -99,7 +131,12 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     @property
     def completed(self) -> int:
-        return len(self.records)
+        return self._completed
+
+    @property
+    def updates_completed(self) -> int:
+        """Committed update transactions in the measurement window."""
+        return self._updates
 
     def measurement_window(self) -> float:
         return max(0.0, self.end_time - self.warmup_seconds)
@@ -109,17 +146,17 @@ class MetricsCollector:
         window = self.measurement_window()
         if window <= 0:
             return 0.0
-        return self.completed / window
+        return self._completed / window
 
     def average_response_time(self) -> float:
-        if not self.records:
+        if not self._completed:
             return 0.0
-        return sum(r.response_time for r in self.records) / len(self.records)
+        return self._response_time_total / self._completed
 
     def update_fraction(self) -> float:
-        if not self.records:
+        if not self._completed:
             return 0.0
-        return sum(1 for r in self.records if r.is_update) / len(self.records)
+        return self._updates / self._completed
 
     # ------------------------------------------------------------------
     # Disk I/O per transaction (Tables 1, 3 and 5)
@@ -131,40 +168,32 @@ class MetricsCollector:
         the transactions completed in the window -- the same accounting the
         paper's per-transaction disk figures use.
         """
-        if not self.records:
+        if not self._completed:
             return 0.0
-        foreground = sum(r.read_bytes for r in self.records)
         background = sum(self.background_read_bytes.values())
-        return (foreground + background) / len(self.records) / KB
+        return (self._foreground_read_bytes + background) / self._completed / KB
 
     def write_kb_per_transaction(self) -> float:
         """Average KB written to disk per completed transaction."""
-        if not self.records:
+        if not self._completed:
             return 0.0
-        foreground = sum(r.write_bytes for r in self.records)
         background = sum(self.background_write_bytes.values())
-        return (foreground + background) / len(self.records) / KB
+        return (self._foreground_write_bytes + background) / self._completed / KB
 
     # ------------------------------------------------------------------
     # Per-replica and per-type breakdowns
     # ------------------------------------------------------------------
     def completions_by_replica(self) -> Dict[int, int]:
-        result: Dict[int, int] = {}
-        for record in self.records:
-            result[record.replica_id] = result.get(record.replica_id, 0) + 1
-        return result
+        return dict(self._by_replica)
 
     def completions_by_type(self) -> Dict[str, int]:
-        result: Dict[str, int] = {}
-        for record in self.records:
-            result[record.transaction_type] = result.get(record.transaction_type, 0) + 1
-        return result
+        return dict(self._by_type)
 
     def throughput_by_replica(self) -> Dict[int, float]:
         window = self.measurement_window()
         if window <= 0:
             return {}
-        return {rid: count / window for rid, count in self.completions_by_replica().items()}
+        return {rid: count / window for rid, count in self._by_replica.items()}
 
     # ------------------------------------------------------------------
     # Time series (Figure 6)
@@ -180,6 +209,19 @@ class MetricsCollector:
                 )
             )
         return points
+
+    def completions_between(self, start_s: float, end_s: float) -> int:
+        """Completions (warm-up included) inside ``[start_s, end_s)``.
+
+        Counted at reporting-bucket granularity: a bucket contributes when
+        its start time falls inside the window, so windows aligned to
+        ``bucket_seconds`` are exact and unaligned edges are rounded to the
+        enclosing bucket.
+        """
+        if end_s <= start_s:
+            return 0
+        return sum(count for bucket, count in self._buckets.items()
+                   if start_s <= bucket * self.bucket_seconds < end_s)
 
     def moving_average_series(self, window_buckets: int = 5) -> List[ThroughputPoint]:
         """Moving average of the throughput series (the paper uses 150 s over 30 s buckets)."""

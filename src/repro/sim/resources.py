@@ -22,7 +22,7 @@ Two kinds of work can be offered:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.sim.simulator import Simulator
@@ -30,6 +30,9 @@ from repro.sim.simulator import Simulator
 
 class Resource:
     """A single-server FIFO queue with utilisation accounting."""
+
+    __slots__ = ("sim", "name", "_busy_until", "_work_accepted", "requests",
+                 "background_requests")
 
     def __init__(self, sim: Simulator, name: str) -> None:
         self.sim = sim
@@ -51,13 +54,18 @@ class Resource:
         """
         if service_time < 0:
             raise ValueError("service time must be non-negative")
-        start = max(self.sim.now, self._busy_until)
+        sim = self.sim
+        busy_until = self._busy_until
+        start = sim.now if sim.now > busy_until else busy_until
         completion = start + service_time
         self._busy_until = completion
         self._work_accepted += service_time
         self.requests += 1
         if callback is not None:
-            self.sim.schedule_at(completion, callback)
+            # Completions are never cancelled and never lie in the past
+            # (completion >= now by construction), so the queue's bare-push
+            # fast path is used directly.
+            sim.queue.push_bare(completion, callback)
         return completion
 
     def add_background_work(self, service_time: float) -> float:

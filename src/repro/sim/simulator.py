@@ -7,11 +7,19 @@ serving, the certifier responding, the load balancer re-allocating
 replicas) is expressed as events, so simulated time is completely decoupled
 from wall-clock time and a 6000-second experiment such as Figure 6 runs in
 seconds.
+
+Two scheduling flavours exist: :meth:`Simulator.schedule` /
+:meth:`Simulator.schedule_at` return a cancellation handle, while
+:meth:`Simulator.defer` / :meth:`Simulator.defer_at` are the allocation-free
+fast path for callbacks that are never cancelled (the overwhelming majority:
+resource completions, think times, periodic ticks).  Both flavours share one
+queue and one time order.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+import heapq
+from typing import Callable, Optional
 
 from repro.sim.events import Event, EventCallback, EventQueue
 
@@ -20,8 +28,8 @@ class Simulator:
     """The event loop.
 
     Components hold a reference to the simulator and use :meth:`schedule` /
-    :meth:`schedule_at`.  Time only advances inside :meth:`run_until` /
-    :meth:`run`.
+    :meth:`schedule_at` (or the handle-free :meth:`defer` variants).  Time
+    only advances inside :meth:`run_until` / :meth:`run`.
     """
 
     def __init__(self) -> None:
@@ -46,6 +54,20 @@ class Simulator:
             )
         return self.queue.push(time, callback)
 
+    def defer(self, delay: float, callback: EventCallback) -> None:
+        """Like :meth:`schedule`, without a cancellation handle (fast path)."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative, got %r" % (delay,))
+        self.queue.push_bare(self.now + delay, callback)
+
+    def defer_at(self, time: float, callback: EventCallback) -> None:
+        """Like :meth:`schedule_at`, without a cancellation handle (fast path)."""
+        if time < self.now:
+            raise ValueError(
+                "cannot schedule in the past (now=%.6f, requested=%.6f)" % (self.now, time)
+            )
+        self.queue.push_bare(time, callback)
+
     def schedule_periodic(self, interval: float, callback: Callable[[], None],
                           start_delay: Optional[float] = None) -> None:
         """Run ``callback`` every ``interval`` seconds until the run ends."""
@@ -55,9 +77,9 @@ class Simulator:
 
         def tick() -> None:
             callback()
-            self.schedule(interval, tick)
+            self.defer(interval, tick)
 
-        self.schedule(first_delay, tick)
+        self.defer(first_delay, tick)
 
     # ------------------------------------------------------------------
     # Execution
@@ -79,14 +101,41 @@ class Simulator:
 
         Events scheduled exactly at ``end_time`` are executed; the clock
         never advances past ``end_time`` even if later events remain queued.
+
+        This is the simulation's innermost loop: it consumes heap entries
+        directly (callbacks are stored bare unless a cancellation handle was
+        requested) rather than going through ``EventQueue.pop``.
         """
         if end_time < self.now:
             raise ValueError("end_time lies in the past")
-        while True:
-            next_time = self.queue.peek_time()
-            if next_time is None or next_time > end_time:
-                break
-            self.step()
+        queue = self.queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        event_class = Event
+        processed = 0
+        while heap:
+            entry = heap[0]
+            payload = entry[2]
+            if payload.__class__ is event_class:
+                if payload.cancelled:
+                    heappop(heap)
+                    continue
+                if entry[0] > end_time:
+                    break
+                heappop(heap)
+                queue._live -= 1
+                payload._queue = None
+                self.now = entry[0]
+                payload.callback()
+            else:
+                if entry[0] > end_time:
+                    break
+                heappop(heap)
+                queue._live -= 1
+                self.now = entry[0]
+                payload()
+            processed += 1
+        self.events_processed += processed
         self.now = max(self.now, end_time)
 
     def run(self, max_events: Optional[int] = None) -> None:

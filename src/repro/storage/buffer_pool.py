@@ -24,30 +24,60 @@ This approximation reproduces the behaviours the paper relies on:
   does disk I/O on most transactions;
 * a large sequential scan displaces other relations' pages abruptly, which
   is exactly the "large request wipes out memory" effect that breaks LARD.
+
+Implementation notes: ``access`` is the single hottest function of the whole
+simulator (it runs several times per transaction), so per-relation state
+lives in one ``__slots__`` record reached through a single ``OrderedDict``
+lookup, and the pool keeps a running residency total so neither the
+accessors nor the eviction trigger ever re-sum the relation map.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import List, Optional
 
 
-@dataclass
 class BufferPoolStats:
-    """Cumulative counters for diagnosis and the disk-I/O tables."""
+    """Cumulative counters for diagnosis and the disk-I/O tables.
 
-    bytes_requested: float = 0.0
-    bytes_missed: float = 0.0
-    accesses: int = 0
-    scans: int = 0
-    evicted_bytes: float = 0.0
+    ``__slots__``-based: the counters are bumped on every buffer access.
+    """
+
+    __slots__ = ("bytes_requested", "bytes_missed", "accesses", "scans",
+                 "evicted_bytes")
+
+    def __init__(self) -> None:
+        self.bytes_requested = 0.0
+        self.bytes_missed = 0.0
+        self.accesses = 0
+        self.scans = 0
+        self.evicted_bytes = 0.0
 
     @property
     def hit_ratio(self) -> float:
         if self.bytes_requested <= 0:
             return 1.0
         return 1.0 - (self.bytes_missed / self.bytes_requested)
+
+
+class _RelationState:
+    """Cached-bytes and hot-set watermark of one relation.
+
+    The state (including the ``hot_max`` watermark) is dropped when a
+    relation is fully evicted.  That is safe for the access path: the
+    watermark cap can only bind at or above the *current* access's hot set
+    (``new_resident <= hot_set_bytes <= hot_max`` always holds), so a
+    re-learned, smaller watermark never shrinks anything actually cached --
+    it only means introspection (``hot_set_bytes_of``/``tracked_relations``)
+    forgets relations whose bytes are all gone.
+    """
+
+    __slots__ = ("resident", "hot_max")
+
+    def __init__(self, resident: float, hot_max: float) -> None:
+        self.resident = resident
+        self.hot_max = hot_max
 
 
 class BufferPool:
@@ -60,23 +90,30 @@ class BufferPool:
             packer; callers are expected to do the same here).
     """
 
+    __slots__ = ("capacity_bytes", "_capacity_f", "skew", "_relations",
+                 "_resident_total", "stats")
+
     def __init__(self, capacity_bytes: int, skew: float = 0.35) -> None:
         if capacity_bytes <= 0:
             raise ValueError("buffer pool capacity must be positive")
         if not 0.0 < skew <= 1.0:
             raise ValueError("skew exponent must be in (0, 1]")
         self.capacity_bytes = capacity_bytes
+        self._capacity_f = float(capacity_bytes)
         #: Access-popularity skew: with a fraction ``f`` of a hot set resident,
         #: the probability that an access hits the cache is ``f ** skew``.
         #: ``skew=1`` models uniformly random accesses; real OLTP accesses are
         #: Zipf-like, so caching half of a hot set captures more than half
         #: of the accesses.  0.35 corresponds to a strongly skewed OLTP workload.
         self.skew = skew
-        # relation name -> resident bytes; insertion order is LRU order
-        # (oldest first, most recently used last).
-        self._resident: "OrderedDict[str, float]" = OrderedDict()
-        # relation name -> size of the hot set residency is capped at.
-        self._hot_set: Dict[str, float] = {}
+        # relation name -> _RelationState; insertion order is LRU order
+        # (oldest first, most recently used last).  States are mutated in
+        # place so the dict entry itself is written only on (re)insertion.
+        self._relations: "OrderedDict[str, _RelationState]" = OrderedDict()
+        # Running total of resident bytes across relations.  Maintained
+        # incrementally so resident_bytes/free_bytes and the eviction
+        # trigger are O(1) instead of re-summing the map on every access.
+        self._resident_total = 0.0
         self.stats = BufferPoolStats()
 
     # ------------------------------------------------------------------
@@ -85,25 +122,40 @@ class BufferPool:
     @property
     def resident_bytes(self) -> float:
         """Total bytes currently cached."""
-        return sum(self._resident.values())
+        return self._resident_total
 
     @property
     def free_bytes(self) -> float:
         return max(0.0, self.capacity_bytes - self.resident_bytes)
 
     def resident_bytes_of(self, relation: str) -> float:
-        return self._resident.get(relation, 0.0)
+        state = self._relations.get(relation)
+        return state.resident if state is not None else 0.0
 
     def resident_relations(self) -> List[str]:
         """Relations with any cached bytes, LRU (oldest) first."""
-        return [name for name, resident in self._resident.items() if resident > 0]
+        return [name for name, state in self._relations.items() if state.resident > 0]
 
     def resident_fraction(self, relation: str) -> float:
         """Fraction of the relation's hot set currently cached."""
-        hot = self._hot_set.get(relation, 0.0)
-        if hot <= 0:
+        state = self._relations.get(relation)
+        if state is None or state.hot_max <= 0:
             return 0.0
-        return min(1.0, self._resident.get(relation, 0.0) / hot)
+        return min(1.0, state.resident / state.hot_max)
+
+    def hot_set_bytes_of(self, relation: str) -> float:
+        """Largest hot set ever observed for ``relation`` (0 if untracked)."""
+        state = self._relations.get(relation)
+        return state.hot_max if state is not None else 0.0
+
+    def tracked_relations(self) -> List[str]:
+        """Relations with pool state (LRU order).
+
+        A relation whose bytes were all evicted (or invalidated) has its
+        state dropped and is no longer listed; it reappears on its next
+        access.
+        """
+        return list(self._relations.keys())
 
     # ------------------------------------------------------------------
     # Access paths
@@ -119,26 +171,50 @@ class BufferPool:
             raise ValueError("bytes_needed must be non-negative")
         if hot_set_bytes <= 0:
             return 0.0
-        bytes_needed = min(bytes_needed, hot_set_bytes)
+        if bytes_needed > hot_set_bytes:
+            bytes_needed = hot_set_bytes
 
-        self._hot_set[relation] = max(self._hot_set.get(relation, 0.0), hot_set_bytes)
-        resident = self._resident.get(relation, 0.0)
-        resident_fraction = min(1.0, resident / hot_set_bytes) if hot_set_bytes > 0 else 1.0
-        hit_fraction = resident_fraction ** self.skew
-        miss_bytes = bytes_needed * (1.0 - hit_fraction)
+        relations = self._relations
+        state = relations.get(relation)
+        if state is None:
+            state = _RelationState(0.0, hot_set_bytes)
+            relations[relation] = state
+            resident = 0.0
+        else:
+            resident = state.resident
+            if hot_set_bytes > state.hot_max:
+                state.hot_max = hot_set_bytes
+        # hit fraction = min(1, resident/hot) ** skew, with the exact 0 / 1
+        # endpoints short-circuited (x**skew is by far the costliest op here
+        # and steady-state accesses to a fully resident hot set are common).
+        if resident >= hot_set_bytes:
+            miss_bytes = 0.0
+        else:
+            if resident > 0.0:
+                hit_fraction = (resident / hot_set_bytes) ** self.skew
+                miss_bytes = bytes_needed * (1.0 - hit_fraction)
+            else:
+                miss_bytes = bytes_needed
 
-        # Bring the missed bytes into the cache.  Residency is capped at the
-        # largest hot set ever observed for the relation (not this access's
-        # hot set -- a narrow access must never shrink what is cached) and at
-        # the pool capacity.
-        new_resident = min(self._hot_set[relation], resident + miss_bytes, float(self.capacity_bytes))
-        self._resident[relation] = new_resident
-        self._resident.move_to_end(relation)
-        self._evict_to_capacity(protect=relation)
+            # Bring the missed bytes into the cache.  Residency is capped at
+            # the largest hot set ever observed for the relation (not this
+            # access's hot set -- a narrow access must never shrink what is
+            # cached) and at the pool capacity.
+            new_resident = resident + miss_bytes
+            if new_resident > state.hot_max:
+                new_resident = state.hot_max
+            if new_resident > self._capacity_f:
+                new_resident = self._capacity_f
+            state.resident = new_resident
+            self._resident_total += new_resident - resident
+        relations.move_to_end(relation)
+        if self._resident_total > self.capacity_bytes:
+            self._evict_to_capacity(protect=relation)
 
-        self.stats.accesses += 1
-        self.stats.bytes_requested += bytes_needed
-        self.stats.bytes_missed += miss_bytes
+        stats = self.stats
+        stats.accesses += 1
+        stats.bytes_requested += bytes_needed
+        stats.bytes_missed += miss_bytes
         return miss_bytes
 
     def scan(self, relation: str, relation_bytes: float) -> float:
@@ -149,18 +225,30 @@ class BufferPool:
         """
         if relation_bytes <= 0:
             return 0.0
-        self._hot_set[relation] = max(self._hot_set.get(relation, 0.0), relation_bytes)
-        resident = self._resident.get(relation, 0.0)
+        relations = self._relations
+        state = relations.get(relation)
+        if state is None:
+            state = _RelationState(0.0, relation_bytes)
+            relations[relation] = state
+            resident = 0.0
+        else:
+            resident = state.resident
+            if relation_bytes > state.hot_max:
+                state.hot_max = relation_bytes
         miss_bytes = max(0.0, relation_bytes - resident)
 
-        self._resident[relation] = min(relation_bytes, float(self.capacity_bytes))
-        self._resident.move_to_end(relation)
-        self._evict_to_capacity(protect=relation)
+        new_resident = min(relation_bytes, self._capacity_f)
+        state.resident = new_resident
+        self._resident_total += new_resident - resident
+        relations.move_to_end(relation)
+        if self._resident_total > self.capacity_bytes:
+            self._evict_to_capacity(protect=relation)
 
-        self.stats.accesses += 1
-        self.stats.scans += 1
-        self.stats.bytes_requested += relation_bytes
-        self.stats.bytes_missed += miss_bytes
+        stats = self.stats
+        stats.accesses += 1
+        stats.scans += 1
+        stats.bytes_requested += relation_bytes
+        stats.bytes_missed += miss_bytes
         return miss_bytes
 
     def invalidate(self, relation: str) -> float:
@@ -169,8 +257,14 @@ class BufferPool:
 
         Returns the number of bytes freed.
         """
-        freed = self._resident.pop(relation, 0.0)
-        self._hot_set.pop(relation, None)
+        state = self._relations.pop(relation, None)
+        freed = state.resident if state is not None else 0.0
+        if self._relations:
+            self._resident_total -= freed
+        else:
+            # Re-anchor the running total whenever the pool empties, so
+            # float rounding from incremental updates can never accumulate.
+            self._resident_total = 0.0
         return freed
 
     def warm(self, relation: str, resident_bytes: float, hot_set_bytes: Optional[float] = None) -> None:
@@ -178,15 +272,27 @@ class BufferPool:
         hot = hot_set_bytes if hot_set_bytes is not None else resident_bytes
         if hot <= 0:
             return
-        self._hot_set[relation] = max(self._hot_set.get(relation, 0.0), hot)
-        self._resident[relation] = min(float(resident_bytes), hot, float(self.capacity_bytes))
-        self._resident.move_to_end(relation)
-        self._evict_to_capacity(protect=relation)
+        relations = self._relations
+        state = relations.get(relation)
+        if state is None:
+            state = _RelationState(0.0, hot)
+            relations[relation] = state
+            previous = 0.0
+        else:
+            previous = state.resident
+            if hot > state.hot_max:
+                state.hot_max = hot
+        new_resident = min(float(resident_bytes), hot, self._capacity_f)
+        state.resident = new_resident
+        self._resident_total += new_resident - previous
+        relations.move_to_end(relation)
+        if self._resident_total > self.capacity_bytes:
+            self._evict_to_capacity(protect=relation)
 
     def clear(self) -> None:
         """Empty the pool (cold restart of a replica)."""
-        self._resident.clear()
-        self._hot_set.clear()
+        self._relations.clear()
+        self._resident_total = 0.0
 
     # ------------------------------------------------------------------
     # Eviction
@@ -197,24 +303,41 @@ class BufferPool:
         The most recently accessed relation (``protect``) is evicted last,
         and only if it alone exceeds the pool capacity.
         """
-        excess = self.resident_bytes - self.capacity_bytes
+        excess = self._resident_total - self.capacity_bytes
         if excess <= 0:
             return
-        for name in list(self._resident.keys()):
+        relations = self._relations
+        stats = self.stats
+        emptied = None
+        # Iterate in place (LRU first); state mutation during iteration is
+        # fine, deletions are deferred until after the loop.  Relative order
+        # of the surviving relations is unchanged either way.
+        for name, state in relations.items():
             if excess <= 0:
                 break
             if name == protect:
                 continue
-            resident = self._resident[name]
-            evicted = min(resident, excess)
-            self._resident[name] = resident - evicted
+            resident = state.resident
+            evicted = resident if resident < excess else excess
+            remaining = resident - evicted
+            state.resident = remaining
+            self._resident_total -= evicted
             excess -= evicted
-            self.stats.evicted_bytes += evicted
-            if self._resident[name] <= 0:
-                del self._resident[name]
-        if excess > 0 and protect is not None and protect in self._resident:
-            # The protected relation alone overflows the pool: cap it.
-            resident = self._resident[protect]
-            evicted = min(resident, excess)
-            self._resident[protect] = resident - evicted
-            self.stats.evicted_bytes += evicted
+            stats.evicted_bytes += evicted
+            if remaining <= 0:
+                if emptied is None:
+                    emptied = [name]
+                else:
+                    emptied.append(name)
+        if emptied is not None:
+            for name in emptied:
+                del relations[name]
+        if excess > 0 and protect is not None:
+            state = relations.get(protect)
+            if state is not None:
+                # The protected relation alone overflows the pool: cap it.
+                resident = state.resident
+                evicted = resident if resident < excess else excess
+                state.resident = resident - evicted
+                self._resident_total -= evicted
+                stats.evicted_bytes += evicted

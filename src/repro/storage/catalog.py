@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.storage.pages import PAGE_SIZE_BYTES, pages_for_bytes
-from repro.storage.relation import Relation, RelationKind, Schema
+from repro.storage.relation import Relation, Schema
 
 
 @dataclass
@@ -40,6 +40,11 @@ class Catalog:
     schema: Schema
     _sizes: Dict[str, int] = field(default_factory=dict)
     _version: int = 0
+    # table name -> its smallest index (or None).  The engine asks this on
+    # every random read; index structure and schema sizes are immutable, so
+    # the answer never changes for a given catalog.
+    _smallest_index: Dict[str, Optional[Relation]] = \
+        field(default_factory=dict, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self._sizes:
@@ -62,9 +67,10 @@ class Catalog:
     # Size accessors used by the storage engine and estimators.
     # ------------------------------------------------------------------
     def size_bytes(self, name: str) -> int:
-        if name not in self._sizes:
-            raise KeyError("unknown relation %r" % (name,))
-        return self._sizes[name]
+        try:
+            return self._sizes[name]
+        except KeyError:
+            raise KeyError("unknown relation %r" % (name,)) from None
 
     def total_size_bytes(self) -> int:
         return sum(self._sizes.values())
@@ -74,6 +80,20 @@ class Catalog:
 
     def indices_of(self, table_name: str) -> List[Relation]:
         return self.schema.indices_of(table_name)
+
+    def smallest_index_of(self, table_name: str) -> Optional[Relation]:
+        """The table's smallest index (the one a point lookup descends).
+
+        Cached per catalog: the schema's index set and sizes are immutable,
+        and the storage engine asks this once per random table access.
+        """
+        try:
+            return self._smallest_index[table_name]
+        except KeyError:
+            indices = self.schema.indices_of(table_name)
+            chosen = min(indices, key=lambda idx: idx.size_bytes) if indices else None
+            self._smallest_index[table_name] = chosen
+            return chosen
 
     def get(self, name: str) -> Optional[Relation]:
         return self.schema.get(name)

@@ -80,8 +80,19 @@ class DiskModel:
         return num_bytes / (self.sequential_read_mb_per_s * MB)
 
     def read_seconds(self, random_bytes: float, sequential_bytes: float) -> float:
-        """Combined read service time for one transaction's misses."""
-        return self.random_read_seconds(random_bytes) + self.sequential_read_seconds(sequential_bytes)
+        """Combined read service time for one transaction's misses.
+
+        Inlines :meth:`random_read_seconds` + :meth:`sequential_read_seconds`
+        (same arithmetic, in the same order) -- this runs once per
+        transaction and once per writeset batch.
+        """
+        if random_bytes > 0:
+            random_s = (random_bytes / PAGE_SIZE_BYTES) * self.random_read_ms_per_page / 1000.0
+        else:
+            random_s = 0.0
+        if sequential_bytes > 0:
+            return random_s + sequential_bytes / (self.sequential_read_mb_per_s * MB)
+        return random_s + 0.0
 
     # ------------------------------------------------------------------
     # Write costs

@@ -90,6 +90,11 @@ class Schema:
 
     name: str
     relations: Dict[str, Relation] = field(default_factory=dict)
+    # Lazily built table -> [indices] map; rebuilt after add().  The storage
+    # engine consults indices_of() on every random read, so recomputing the
+    # list comprehension per access was one of the simulator's hot paths.
+    _indices_by_table: Optional[Dict[str, List[Relation]]] = \
+        field(default=None, compare=False, repr=False)
 
     @classmethod
     def from_relations(cls, name: str, relations: Iterable[Relation]) -> "Schema":
@@ -103,6 +108,7 @@ class Schema:
         if relation.name in self.relations:
             raise ValueError("duplicate relation name %r in schema %r" % (relation.name, self.name))
         self.relations[relation.name] = relation
+        self._indices_by_table = None
 
     def validate(self) -> None:
         """Check that every index's parent table exists."""
@@ -136,8 +142,19 @@ class Schema:
         return [r for r in self.relations.values() if r.is_index]
 
     def indices_of(self, table_name: str) -> List[Relation]:
-        """All indices whose parent is ``table_name``."""
-        return [r for r in self.indices if r.parent == table_name]
+        """All indices whose parent is ``table_name``.
+
+        Served from a lazily built map; callers must treat the returned
+        list as read-only.
+        """
+        by_table = self._indices_by_table
+        if by_table is None:
+            by_table = {}
+            for relation in self.relations.values():
+                if relation.is_index:
+                    by_table.setdefault(relation.parent, []).append(relation)
+            self._indices_by_table = by_table
+        return by_table.get(table_name, [])
 
     @property
     def total_size_bytes(self) -> int:

@@ -17,11 +17,9 @@ respect to a given committed version.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 
-@dataclass
 class SnapshotManager:
     """Tracks the applied version of a replica and per-transaction snapshots.
 
@@ -30,11 +28,17 @@ class SnapshotManager:
     replica has applied; any transaction starting now observes a snapshot at
     that version ("the state of any replica is always a consistent prefix of
     the certifier's log", Section 4.1).
+
+    ``__slots__``-based: begin/finish run once per transaction and advance
+    runs once per applied writeset batch.
     """
 
-    applied_version: int = 0
-    _snapshots: Dict[int, int] = field(default_factory=dict)
-    _last_session_version: Dict[str, int] = field(default_factory=dict)
+    __slots__ = ("applied_version", "_snapshots", "_last_session_version")
+
+    def __init__(self, applied_version: int = 0) -> None:
+        self.applied_version = applied_version
+        self._snapshots: Dict[int, int] = {}
+        self._last_session_version: Dict[str, int] = {}
 
     def begin(self, txn_id: int, session: Optional[str] = None) -> int:
         """Record the snapshot version for a starting transaction.

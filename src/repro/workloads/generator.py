@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.workloads.spec import Mix, TransactionType, WorkloadSpec
 
@@ -88,13 +88,34 @@ class WorkloadGenerator:
         for phase in self.schedule.phases:
             # Fail fast on schedules that reference unknown mixes.
             self.spec.mix(phase.mix_name)
+        # Active-phase cache: (start_time, end_time_or_None, Mix).  next_type
+        # runs once per generated transaction; resolving the schedule and the
+        # mix object through dict lookups each time was measurable.
+        self._active: Optional[Tuple[float, Optional[float], Mix]] = None
 
     @classmethod
     def constant(cls, spec: WorkloadSpec, mix_name: str, seed: int = 0) -> "WorkloadGenerator":
         return cls(spec=spec, schedule=WorkloadSchedule.constant(mix_name), seed=seed)
 
     def mix_at(self, time: float) -> Mix:
-        return self.spec.mix(self.schedule.mix_at(time))
+        active = self._active
+        if active is not None and active[0] <= time and \
+                (active[1] is None or time < active[1]):
+            return active[2]
+        phases = self.schedule.phases
+        start = phases[0].start_time
+        end: Optional[float] = None
+        name = phases[0].mix_name
+        for index, phase in enumerate(phases):
+            if phase.start_time <= time:
+                start = phase.start_time
+                name = phase.mix_name
+                end = phases[index + 1].start_time if index + 1 < len(phases) else None
+            else:
+                break
+        mix = self.spec.mix(name)
+        self._active = (start, end, mix)
+        return mix
 
     def next_type(self, time: float) -> TransactionType:
         """Sample the transaction type of the next request issued at ``time``."""

@@ -25,10 +25,11 @@ These specs are consumed by three parties:
 
 from __future__ import annotations
 
+import bisect
 import enum
 import random
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
     # Imported lazily to avoid a circular import: the storage engine itself
@@ -224,6 +225,20 @@ class Mix:
                 raise ValueError("mix %r has negative weight for %r" % (self.name, type_name))
         if sum(self.weights.values()) <= 0:
             raise ValueError("mix %r has zero total weight" % (self.name,))
+        # Sampling runs once per generated transaction, so the name list and
+        # the cumulative weights are precomputed instead of being rebuilt on
+        # every draw (``rng.choices`` with ``cum_weights`` skips its internal
+        # accumulate pass and draws identically to passing ``weights``).
+        names = list(self.weights.keys())
+        cum_weights: List[float] = []
+        total = 0.0
+        for type_name in names:
+            total += self.weights[type_name]
+            cum_weights.append(total)
+        object.__setattr__(self, "_sample_names", names)
+        object.__setattr__(self, "_sample_cum_weights", cum_weights)
+        object.__setattr__(self, "_sample_total", cum_weights[-1] + 0.0)
+        object.__setattr__(self, "_sample_hi", len(names) - 1)
 
     def normalised(self) -> Dict[str, float]:
         total = sum(self.weights.values())
@@ -240,10 +255,15 @@ class Mix:
         )
 
     def sample(self, rng: random.Random) -> str:
-        """Draw one transaction type name according to the mix weights."""
-        names = list(self.weights.keys())
-        weights = [self.weights[name] for name in names]
-        return rng.choices(names, weights=weights, k=1)[0]
+        """Draw one transaction type name according to the mix weights.
+
+        Performs exactly the draw ``rng.choices(names, cum_weights=...)``
+        would perform (one ``rng.random()``, one bisect over the precomputed
+        cumulative weights) without re-validating the weights on every call.
+        """
+        return self._sample_names[
+            bisect.bisect(self._sample_cum_weights,
+                          rng.random() * self._sample_total, 0, self._sample_hi)]
 
 
 @dataclass

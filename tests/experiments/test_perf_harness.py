@@ -1,0 +1,78 @@
+"""Unit tests for the perf-benchmark harness (benchmarks/perf)."""
+
+import json
+
+import pytest
+
+from benchmarks.perf.harness import (
+    BENCH_SCHEMA_VERSION,
+    ScenarioTiming,
+    format_table,
+    load_bench_json,
+    write_bench_json,
+)
+from benchmarks.perf.run import main
+from benchmarks.perf.scenarios import SCENARIOS
+
+
+def _timing(name="demo", wall=2.0, events=100_000):
+    return ScenarioTiming(
+        name=name,
+        wall_seconds=wall,
+        sim_seconds=120.0,
+        events_processed=events,
+        transactions_completed=5000,
+        throughput_tps=41.7,
+        extra={"certifier_aborts": 3.0},
+    )
+
+
+def test_events_per_second():
+    assert _timing().events_per_second == pytest.approx(50_000.0)
+    assert _timing(wall=0.0).events_per_second == 0.0
+
+
+def test_bench_json_roundtrip(tmp_path):
+    path = tmp_path / "BENCH_TEST.json"
+    write_bench_json(str(path), {"demo": _timing()}, note="unit test")
+    payload = load_bench_json(str(path))
+    assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+    assert payload["note"] == "unit test"
+    scenario = payload["scenarios"]["demo"]
+    assert scenario["events_processed"] == 100_000
+    assert scenario["events_per_second"] == pytest.approx(50_000.0)
+    assert scenario["extra"]["certifier_aborts"] == pytest.approx(3.0)
+
+
+def test_load_rejects_unknown_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema_version": 999}))
+    with pytest.raises(ValueError):
+        load_bench_json(str(path))
+
+
+def test_format_table_lists_all_scenarios():
+    table = format_table({"a": _timing("a"), "b": _timing("b")})
+    assert "a" in table and "b" in table and "events/s" in table
+
+
+def test_known_scenarios_registered():
+    assert {"midsize-malb", "fig6-dynamic", "flash-crowd", "certifier-micro"} \
+        <= set(SCENARIOS)
+
+
+def test_cli_rejects_unknown_scenario(capsys):
+    with pytest.raises(SystemExit):
+        main(["--scenario", "no-such-scenario"])
+
+
+def test_cli_floor_gate(tmp_path, monkeypatch):
+    import benchmarks.perf.run as run_module
+    monkeypatch.setattr(run_module, "SCENARIOS",
+                        {"demo": lambda quick: _timing(wall=100.0)})
+    out = tmp_path / "bench.json"
+    # 1000 events/s measured; floor of 10 passes, floor of 10000 fails.
+    assert main(["--scenario", "demo", "--out", str(out),
+                 "--min-events-per-sec", "10"]) == 0
+    assert out.exists()
+    assert main(["--scenario", "demo", "--min-events-per-sec", "10000"]) == 1

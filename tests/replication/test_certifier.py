@@ -92,3 +92,44 @@ def test_conflicting_concurrent_writesets_never_both_commit(keys):
             # a second commit of the same key from snapshot 0 must be impossible
             assert key not in committed_keys
             committed_keys[key] = result.version
+
+
+def test_oldest_available_version_tracks_truncation():
+    cert = Certifier()
+    assert cert.oldest_available_version == 1
+    for i in range(10):
+        cert.certify(ws("a", [i]), snapshot_version=i)
+    cert.truncate(oldest_needed_version=6)
+    assert cert.oldest_available_version == 7
+    assert cert.current_version == 10
+
+
+def test_conflict_index_is_swept_on_truncation():
+    cert = Certifier()
+    for i in range(10):
+        cert.certify(ws("a", [i]), snapshot_version=i)
+    assert len(cert._last_writer) == 10
+    cert.truncate(oldest_needed_version=10)
+    # Entries whose writesets left the log can never win a conflict check;
+    # the sweep drops them so the index tracks the retained log only.
+    assert len(cert._last_writer) == 0
+
+
+def test_conflicts_below_the_truncation_horizon_are_forgotten():
+    # Same semantics as the pre-index log scan: truncation drops history,
+    # so a writeset against a snapshot older than the horizon only sees
+    # conflicts from retained entries.
+    cert = Certifier()
+    cert.certify(ws("a", [7]), snapshot_version=0)
+    cert.truncate(oldest_needed_version=1)
+    result = cert.certify(ws("a", [7]), snapshot_version=0)
+    assert result.committed
+
+
+def test_repeated_writers_conflict_via_last_version():
+    cert = Certifier()
+    cert.certify(ws("a", [7]), snapshot_version=0)          # v1
+    cert.certify(ws("a", [7]), snapshot_version=1)          # v2, same key
+    result = cert.certify(ws("a", [7]), snapshot_version=1)  # saw v1 only
+    assert not result.committed
+    assert result.conflict_with == 2

@@ -63,6 +63,7 @@ def test_schedule_switches_mix_during_run():
                              clients_per_replica=4, think_time_s=0.1),
         schedule=WorkloadSchedule.alternating(["readonly", "balanced"], 20.0),
     )
+    cluster.metrics.retain_records = True
     result = cluster.run(duration_s=40.0, warmup_s=0.0)
     updates = [r for r in result.metrics.records if r.is_update]
     assert updates                                  # updates appear only in phase 2
@@ -93,3 +94,44 @@ def test_malb_cluster_installs_view_correctly():
     assert malb.view is cluster
     result = cluster.run(duration_s=20.0, warmup_s=5.0)
     assert result.groupings
+
+
+def test_certifier_log_is_truncated_periodically():
+    cluster = make_cluster(replicas=3)
+    cluster.run(duration_s=120.0, warmup_s=5.0)
+    cert = cluster.certifier
+    assert cert.current_version > 0
+    # The periodic truncation kept the retained log to a recent suffix
+    # instead of every writeset ever certified.
+    assert cert.oldest_available_version > 1
+    assert len(cert.log) < cert.current_version
+    # Every live replica is still above the truncation horizon, so update
+    # propagation never needs recovery.
+    for replica in cluster.replicas.values():
+        assert replica.proxy.applied_version >= cert.oldest_available_version - 1
+        replica.pull_updates()
+
+
+def test_truncation_can_be_disabled():
+    cluster = make_cluster(replicas=2, log_truncation_interval_s=0.0)
+    cluster.run(duration_s=40.0, warmup_s=5.0)
+    cert = cluster.certifier
+    assert cert.oldest_available_version == 1
+    assert len(cert.log) == cert.current_version
+
+
+def test_truncation_floor_respects_crashed_replicas():
+    cluster = make_cluster(replicas=3)
+    cluster.start()
+    cluster.sim.run_until(20.0)
+    victim = cluster.replica_ids()[0]
+    cluster.crash_replica(victim)
+    applied_at_crash = cluster.membership.crashed[victim].proxy.applied_version
+    cluster.sim.run_until(120.0)
+    # The dead replica's applied version holds the truncation floor down, so
+    # it can still be restored from the log alone.
+    assert cluster.certifier.oldest_available_version - 1 <= applied_at_crash
+    replayed = cluster.restore_replica(victim)
+    assert replayed >= 0
+    assert cluster.replicas[victim].proxy.applied_version == \
+        cluster.certifier.current_version

@@ -80,3 +80,32 @@ def test_invalid_construction():
         MetricsCollector(warmup_seconds=-1)
     with pytest.raises(ValueError):
         MetricsCollector(bucket_seconds=0)
+
+
+def test_completions_between_counts_aligned_buckets():
+    m = MetricsCollector(bucket_seconds=10.0)
+    for t in range(0, 100):
+        _record(m, float(t))
+    assert m.completions_between(20.0, 50.0) == 30
+    assert m.completions_between(0.0, 100.0) == 100
+    assert m.completions_between(50.0, 50.0) == 0
+    assert m.completions_between(90.0, 200.0) == 10
+
+
+def test_updates_completed_streams():
+    m = MetricsCollector()
+    _record(m, 1.0, is_update=True)
+    _record(m, 2.0)
+    _record(m, 3.0, is_update=True)
+    assert m.updates_completed == 2
+
+
+def test_records_are_retained_only_on_request():
+    m = MetricsCollector()
+    _record(m, 1.0)
+    assert m.records == []               # streaming by default: no retention
+    m.retain_records = True
+    _record(m, 2.0)
+    assert len(m.records) == 1
+    assert m.records[0].time == 2.0
+    assert m.completed == 2              # aggregates unaffected by the flag

@@ -58,3 +58,26 @@ def test_events_scheduled_during_run_execute():
     sim.run_until(10.0)
     assert seen == ["second"]
     assert sim.events_processed == 2
+
+
+def test_defer_runs_callbacks_in_fifo_order_with_schedule():
+    from repro.sim.simulator import Simulator
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.defer(1.0, lambda: order.append("b"))
+    sim.defer_at(1.0, lambda: order.append("c"))
+    sim.run_until(2.0)
+    assert order == ["a", "b", "c"]
+    assert sim.events_processed == 3
+
+
+def test_defer_validates_like_schedule():
+    from repro.sim.simulator import Simulator
+    import pytest
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.defer(-1.0, lambda: None)
+    sim.now = 5.0
+    with pytest.raises(ValueError):
+        sim.defer_at(4.0, lambda: None)

@@ -101,7 +101,7 @@ def test_capacity_invariant_under_arbitrary_access(accesses):
         need = mb(min(need_mb, hot_mb))
         pool.access(relation, need, mb(hot_mb))
         assert pool.resident_bytes <= pool.capacity_bytes + 1
-        assert all(v >= 0 for v in pool._resident.values())
+        assert all(state.resident >= 0 for state in pool._relations.values())
 
 
 @settings(max_examples=40, deadline=None)
