@@ -222,11 +222,16 @@ def flash_crowd_scenario(autoscale: bool = True,
         autoscaler = AutoscalerConfig(
             min_replicas=4,
             max_replicas=8,
-            high_watermark=0.80,
-            # Update propagation keeps every replica's disk ~40% busy even
+            # The 4-replica baseline runs at ~0.8 now that every committed
+            # writeset is actually applied at every replica (the certification
+            # responses piggyback missed writesets instead of skipping them),
+            # so the scale-up threshold sits above that and below the >=0.93
+            # the surge produces.
+            high_watermark=0.90,
+            # Update propagation keeps every replica's disk ~50% busy even
             # when clients are idle (the scaling limit Section 3 attacks),
             # so the scale-down threshold sits above that floor.
-            low_watermark=0.55,
+            low_watermark=0.65,
             check_interval_s=10.0,
             scale_up_after=2,
             scale_down_after=2,

@@ -14,7 +14,7 @@ from repro.replication.recovery import (
     recover_replica,
     recovery_replay_plan,
 )
-from repro.replication.replica import Replica
+from repro.replication.replica import Replica, TransactionContext
 from repro.replication.writeset import CertifiedWriteSet, WriteItem, WriteSet
 
 __all__ = [
@@ -31,6 +31,7 @@ __all__ = [
     "ReplicatedCertifierLog",
     "ReplicatedCluster",
     "RunResult",
+    "TransactionContext",
     "WriteItem",
     "WriteSet",
     "recover_replica",

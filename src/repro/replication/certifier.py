@@ -25,7 +25,7 @@ certification O(log length) per request and dominated paper-scale runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.replication.writeset import CertifiedWriteSet, WriteSet
 
@@ -45,6 +45,8 @@ class CertifierStats:
     commits: int = 0
     aborts: int = 0
     notifications_sent: int = 0
+    batches: int = 0            # batched round trips served (certify_batch calls)
+    batched_requests: int = 0   # requests that arrived inside a batch
 
     @property
     def abort_rate(self) -> float:
@@ -112,6 +114,31 @@ class Certifier:
         self.stats.commits += 1
         self._maybe_trim()
         return CertificationResult(committed=True, version=version)
+
+    def certify_batch(self, requests: Sequence[Tuple[WriteSet, int]],
+                      since_version: int, now: float = 0.0
+                      ) -> Tuple[List[CertificationResult], List[CertifiedWriteSet]]:
+        """Serve one proxy's batched certification round trip.
+
+        ``requests`` is the FIFO list of ``(writeset, snapshot_version)``
+        pairs a proxy accumulated during one round trip; they are certified
+        in order, so commit versions respect per-proxy FIFO.  A writeset
+        later in the batch conflicts with earlier commits of the same batch
+        exactly as it would had they arrived as separate requests.
+
+        Returns ``(results, piggyback)``: one :class:`CertificationResult`
+        per request plus every writeset committed since ``since_version``
+        (the requesting proxy's applied version), computed *after* the batch
+        so it includes the batch's own commits.  The proxy applies the
+        piggybacked writesets before committing locally or retrying, which
+        is how the paper's responses keep replicas current (Section 4.2)
+        and how an aborted transaction's retry sees a fresh snapshot.
+        """
+        self.stats.batches += 1
+        self.stats.batched_requests += len(requests)
+        results = [self.certify(writeset, snapshot, now=now)
+                   for writeset, snapshot in requests]
+        return results, self.writesets_since(since_version)
 
     def _find_conflict(self, writeset: WriteSet, snapshot_version: int) -> Optional[int]:
         """Index probe per written key: O(|writeset|), not O(log length).

@@ -23,7 +23,6 @@ from repro.replication.certifier import Certifier
 from repro.replication.proxy import ProxyConfig
 from repro.replication.recovery import ReplicatedCertifierLog
 from repro.replication.replica import Replica
-from repro.replication.writeset import CertifiedWriteSet
 
 if TYPE_CHECKING:
     from repro.elasticity.membership import MembershipManager
@@ -124,6 +123,20 @@ class RunResult:
         return self.metrics.write_kb_per_transaction()
 
 
+class _Notification:
+    """A lag notification in flight from the certifier to one proxy."""
+
+    __slots__ = ("pending", "replica")
+
+    def __init__(self, pending: Set[int], replica: Replica) -> None:
+        self.pending = pending
+        self.replica = replica
+
+    def __call__(self) -> None:
+        self.pending.discard(self.replica.replica_id)
+        self.replica.pull_updates()
+
+
 class ReplicatedCluster:
     """Builds and runs one replicated-database configuration."""
 
@@ -154,6 +167,7 @@ class ReplicatedCluster:
         self._inflight: Dict[int, Dict[int, Callable[[bool], None]]] = {}
         self._inflight_token = 0
         self._pulls_scheduled: Set[int] = set()
+        self._notify_pending: Set[int] = set()
         self._next_replica_id = 0
         self._membership: Optional["MembershipManager"] = None
         self._started = False
@@ -355,16 +369,31 @@ class ReplicatedCluster:
         pending[token] = done
         replica.submit(txn_type, self.sim.now, done)
 
-    def _on_local_commit(self, origin: Replica, entry: CertifiedWriteSet) -> None:
+    def _on_local_commit(self, origin: Replica) -> None:
         """Piggyback propagation: the committing replica is already up to date;
         other replicas receive the writeset at their next pull (within the
         propagation interval), mirroring the prototype's 500 ms pull plus
-        lag-notification scheme."""
+        lag-notification scheme.  A lag notification is a certifier-to-proxy
+        message, so the pull it triggers pays the one-way notification
+        latency instead of happening instantaneously at commit time.  At
+        most one notification per replica is in flight: further commits
+        before it lands would only tell the proxy what it is already about
+        to learn."""
+        latency = self.config.proxy.notification_latency_s
+        origin_id = origin.replica_id
+        pending = self._notify_pending
         for replica in self.replicas.values():
-            if replica.replica_id == origin.replica_id:
+            replica_id = replica.replica_id
+            if replica_id == origin_id or replica_id in pending:
                 continue
             if self.certifier.should_notify(replica.proxy.applied_version):
-                replica.pull_updates()
+                if latency > 0:
+                    pending.add(replica_id)
+                    # pull_updates checks liveness when the message lands, so
+                    # a replica that crashes in between simply drops it.
+                    self.sim.defer(latency, _Notification(pending, replica))
+                else:
+                    replica.pull_updates()
 
     def _install_filters(self) -> None:
         """Push the balancer's current update-filtering decision to the proxies."""

@@ -5,8 +5,9 @@ of every database replica (Figure 1).  The proxy
 
 * performs admission control with the Gatekeeper algorithm so bursts do not
   overload the database [ENTZ04],
-* forwards certification requests to the certifier and applies the remote
-  writesets returned with the response,
+* forwards certification requests to the certifier -- batched, with at most
+  one round trip in flight per proxy -- and applies the remote writesets
+  piggybacked on the response before committing or retrying,
 * pulls new updates periodically (every 500 ms in the prototype) when the
   replica has been idle, and reacts to the certifier's lag notifications,
 * and, for Tashkent+, stores the update-filtering table list and forwards
@@ -35,11 +36,22 @@ class ProxyConfig:
             writesets (500 ms in the prototype).
         certification_latency_s: one round trip to the certifier (network +
             certification service time).
+        max_certification_batch: how many certification requests one round
+            trip may carry.  The proxy keeps at most one round trip in
+            flight; update transactions reaching certification while it is
+            outstanding join the next batch, sharing its latency.  1 sends
+            every request on its own round trip (still serialized per
+            proxy).
+        notification_latency_s: one-way certifier-to-proxy latency of a lag
+            notification; the pull it triggers is deferred by this much, so
+            piggyback propagation is not free relative to the periodic pull.
     """
 
     max_concurrency: int = 8
     pull_interval_s: float = 0.5
     certification_latency_s: float = 0.004
+    max_certification_batch: int = 64
+    notification_latency_s: float = 0.002
 
     def __post_init__(self) -> None:
         if self.max_concurrency <= 0:
@@ -48,6 +60,10 @@ class ProxyConfig:
             raise ValueError("pull_interval_s must be positive")
         if self.certification_latency_s < 0:
             raise ValueError("certification latency must be non-negative")
+        if self.max_certification_batch <= 0:
+            raise ValueError("max_certification_batch must be positive")
+        if self.notification_latency_s < 0:
+            raise ValueError("notification latency must be non-negative")
 
 
 class AdmissionController:
@@ -101,7 +117,11 @@ class ReplicaProxy:
         self.replica_id = replica_id
         self.config = config or ProxyConfig()
         self.admission = AdmissionController(self.config.max_concurrency)
-        # Update filtering: None means apply every table's writesets.
+        # Update filtering: the single source of truth for which tables'
+        # writesets reach the database.  None means apply everything; a set
+        # means apply only those tables.  The predicate is evaluated per
+        # item by ``engine.apply_writesets_fast`` (which also drops tables
+        # in ``dropped_tables``); nothing else re-implements it.
         self.filter_tables: Optional[Set[str]] = None
         # Versions applied so far (update-propagation cursor).
         self.applied_version = 0
@@ -115,24 +135,12 @@ class ReplicaProxy:
         """Install (or clear) the update-filtering table list."""
         self.filter_tables = set(tables) if tables is not None else None
 
-    def should_apply(self, table: str) -> bool:
-        """Whether writesets for ``table`` must be forwarded to the database."""
-        if self.filter_tables is None:
-            return True
-        return table in self.filter_tables
-
     # ------------------------------------------------------------------
     # Propagation bookkeeping
     # ------------------------------------------------------------------
     def advance(self, version: int) -> None:
         if version > self.applied_version:
             self.applied_version = version
-
-    def record_application(self, applied: bool) -> None:
-        if applied:
-            self.writesets_applied += 1
-        else:
-            self.writesets_filtered += 1
 
     @property
     def filtering_enabled(self) -> bool:

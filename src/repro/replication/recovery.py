@@ -21,11 +21,11 @@ This module provides that machinery for the simulated system:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
-from repro.replication.certifier import Certifier, CertifierStats
+from repro.replication.certifier import CertificationResult, Certifier, CertifierStats
 from repro.replication.replica import Replica
-from repro.replication.writeset import CertifiedWriteSet
+from repro.replication.writeset import CertifiedWriteSet, WriteSet
 
 
 @dataclass
@@ -57,6 +57,20 @@ class ReplicatedCertifierLog:
                 if not mirrored.committed:
                     raise RuntimeError("backup certifier diverged from the leader")
         return result
+
+    def certify_batch(self, requests: Sequence[Tuple[WriteSet, int]],
+                      since_version: int, now: float = 0.0
+                      ) -> Tuple[List[CertificationResult], List[CertifiedWriteSet]]:
+        """Serve a proxy's batched round trip against the replicated log.
+
+        Reuses :meth:`Certifier.certify_batch`'s implementation unbound --
+        this wrapper quacks like a certifier (``certify`` mirrors every
+        commit to the backups, ``stats`` and ``writesets_since`` delegate
+        to the leader), so batch semantics cannot drift between the plain
+        and the replicated certifier.  A fail-over mid-run loses none of a
+        batch's commits.
+        """
+        return Certifier.certify_batch(self, requests, since_version, now=now)
 
     def fail_over(self, leader_failed: bool = True) -> Certifier:
         """Promote the most up-to-date backup to leader.

@@ -1,24 +1,44 @@
 """One database replica: engine + proxy + CPU/disk resources + GSI commit path.
 
-The replica wires the storage engine's resource demands into the event loop:
+The replica wires the storage engine's resource demands into the event loop.
+Each transaction is tracked by a slotted :class:`TransactionContext` that
+moves through an explicit lifecycle::
 
-* a transaction admitted by the proxy executes against the local buffer pool,
-  queues for the CPU, then queues for the disk channel to read its misses;
+    ADMITTED -> CPU -> READS -> CERTIFYING -> DONE
+
+* a transaction admitted by the proxy executes against the local buffer
+  pool, queues for the CPU, then queues for the disk channel to read its
+  misses (ADMITTED -> CPU -> READS);
 * read-only transactions then commit locally (GSI lets them run entirely at
   the replica, Section 4.1);
-* update transactions pay one round trip to the certifier; on success their
-  dirty pages are handed to the background writer (no fsync on the commit
-  path -- Tashkent unites durability with ordering in the middleware), and
-  the cluster propagates the writeset to the other replicas;
+* update transactions enter CERTIFYING: the proxy batches certification
+  requests, keeping at most one round trip to the certifier outstanding.
+  Update transactions that reach certification while a round trip is in
+  flight join the next batch, so concurrent updates share the
+  ``certification_latency_s`` they would each have paid alone
+  (Sections 3.2/4.2);
+* the certification response piggybacks every writeset committed since the
+  replica's applied version.  The proxy applies those *before* delivering
+  outcomes, so a committed transaction leaves the replica current and an
+  aborted transaction retries against a fresh snapshot instead of burning
+  its retries on the same stale one while waiting for the 500 ms pull;
+* on commit the dirty pages are handed to the background writer (no fsync
+  on the commit path -- Tashkent unites durability with ordering in the
+  middleware), and the cluster propagates the writeset to the other
+  replicas;
 * remote writesets arriving through update propagation are applied as
   background CPU and disk work, competing with the replica's foreground
   transactions for the same resources -- the contention update filtering
   removes.
+
+Every continuation is fenced by the replica's epoch: a crash bumps the
+epoch, so continuations (CPU/disk completions, the certification round
+trip) scheduled before the crash are dropped when they fire.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.replication.certifier import Certifier
 from repro.replication.proxy import AdmissionController, ProxyConfig, ReplicaProxy
@@ -32,6 +52,70 @@ from repro.workloads.spec import TransactionType
 
 # Callback invoked when a submitted transaction finishes (committed=True/False).
 CompletionCallback = Callable[[bool], None]
+
+
+class TransactionContext:
+    """The slotted lifecycle state of one transaction at a replica.
+
+    Replaces the former per-transaction closure chain: the context is
+    allocated once at submission and reused across retries (a retry re-runs
+    the pipeline with a fresh snapshot but keeps the context, its admission
+    slot and its attempt counter).  Stage continuations are bound methods on
+    this object, so the steady-state transaction path allocates one context
+    per transaction instead of a closure per stage per attempt.
+    """
+
+    ADMITTED = 0
+    CPU = 1
+    READS = 2
+    CERTIFYING = 3
+    DONE = 4
+
+    __slots__ = ("replica", "txn_type", "submitted_at", "on_done", "attempt",
+                 "state", "epoch", "txn_id", "snapshot", "work", "writeset")
+
+    def __init__(self, replica: "Replica", txn_type: TransactionType,
+                 submitted_at: float, on_done: CompletionCallback) -> None:
+        self.replica = replica
+        self.txn_type = txn_type
+        self.submitted_at = submitted_at
+        self.on_done = on_done
+        self.attempt = 1
+        self.state = TransactionContext.ADMITTED
+        self.epoch = replica.epoch
+        self.txn_id = 0
+        self.snapshot = 0
+        self.work: Optional[TransactionWork] = None
+        self.writeset = None
+
+    # Stage continuations (scheduled on resources / the event queue) -------
+    def start(self) -> None:
+        """Admission-controller callback: the transaction got its slot."""
+        self.replica._start(self)
+
+    def after_cpu(self) -> None:
+        replica = self.replica
+        if replica.epoch != self.epoch:
+            return
+        self.state = TransactionContext.READS
+        work = self.work
+        read_time = replica.disk_model.read_seconds(
+            work.random_read_bytes, work.sequential_read_bytes
+        )
+        if read_time > 0:
+            replica.resources.disk.acquire(read_time, self.after_reads)
+        else:
+            self.after_reads()
+
+    def after_reads(self) -> None:
+        replica = self.replica
+        if replica.epoch != self.epoch:
+            return
+        if self.writeset is None:
+            replica._finish(self, committed=True)
+            return
+        self.state = TransactionContext.CERTIFYING
+        replica._enqueue_certification(self)
 
 
 class Replica:
@@ -51,13 +135,19 @@ class Replica:
         self.proxy = ReplicaProxy(replica_id, proxy_config)
         self.max_retries = max_retries
         self.metrics: Optional[MetricsCollector] = None
-        # Hook installed by the cluster: called after a successful local
-        # commit so the writeset is propagated to the other replicas.
-        self.on_local_commit: Optional[Callable[["Replica", CertifiedWriteSet], None]] = None
+        # Hook installed by the cluster: called once per certification batch
+        # that committed at least one transaction, so the writesets (already
+        # in the certifier's log) are propagated to the other replicas.
+        self.on_local_commit: Optional[Callable[["Replica"], None]] = None
         self._next_txn_id = 0
         self.completed = 0
         self.committed_updates = 0
         self.aborted = 0
+        # Per-proxy certification batching: transactions that reached
+        # CERTIFYING and are waiting for the next round trip, plus whether a
+        # round trip is currently in flight.
+        self._cert_queue: List[TransactionContext] = []
+        self._cert_inflight = False
         # Elasticity: a replica can crash mid-run and be restored later.
         # The epoch fences continuations of transactions that were in flight
         # when the crash happened: events from an older epoch are dropped.
@@ -73,105 +163,142 @@ class Replica:
         """Accept a transaction from the load balancer."""
         if not self.alive:
             raise RuntimeError("replica %d is not alive" % (self.replica_id,))
-        self.proxy.admission.admit(lambda: self._start(txn_type, submitted_at, on_done, attempt=1))
+        ctx = TransactionContext(self, txn_type, submitted_at, on_done)
+        self.proxy.admission.admit(ctx.start)
 
-    def _start(self, txn_type: TransactionType, submitted_at: float,
-               on_done: CompletionCallback, attempt: int) -> None:
+    def _start(self, ctx: TransactionContext) -> None:
+        """Run (or re-run, on retry) the execution pipeline of ``ctx``."""
         if not self.alive:
             # Crashed between admission and start (or before a retry); the
             # cluster has already failed the transaction's callback.
             return
+        ctx.epoch = self.epoch
+        ctx.state = TransactionContext.CPU
+        ctx.txn_id = self._next_txn_id = self._next_txn_id + 1
+        ctx.snapshot = self.engine.snapshots.begin(ctx.txn_id)
+        ctx.work, ctx.writeset = self.engine.execute(ctx.txn_type)
+        cpu_time = ctx.work.cpu_seconds
+        if cpu_time > 0:
+            self.resources.cpu.acquire(cpu_time, ctx.after_cpu)
+        else:
+            ctx.after_cpu()
+
+    # ------------------------------------------------------------------
+    # Certification (batched per proxy)
+    # ------------------------------------------------------------------
+    def _enqueue_certification(self, ctx: TransactionContext) -> None:
+        """Queue ``ctx`` for the next certification round trip.
+
+        The proxy keeps at most one round trip to the certifier in flight;
+        everything that reaches certification while one is outstanding is
+        sent together when the next one departs, amortizing the round-trip
+        latency and the per-transaction event-queue traffic.
+        """
+        self._cert_queue.append(ctx)
+        if not self._cert_inflight:
+            self._dispatch_certification()
+
+    def _dispatch_certification(self) -> None:
+        """Send one batched certification round trip (up to the batch limit)."""
+        config = self.proxy.config
+        limit = config.max_certification_batch
+        queue = self._cert_queue
+        batch = queue[:limit]
+        del queue[:limit]
+        self._cert_inflight = True
         epoch = self.epoch
-        txn_id = self._next_txn_id = self._next_txn_id + 1
-        snapshot = self.engine.snapshots.begin(txn_id)
-        work, writeset = self.engine.execute(txn_type)
+        self.sim.defer(config.certification_latency_s,
+                       lambda: self._complete_certification(batch, epoch))
 
-        def after_cpu() -> None:
-            if self.epoch != epoch:
-                return
-            read_time = self.disk_model.read_seconds(
-                work.random_read_bytes, work.sequential_read_bytes
-            )
-            if read_time > 0:
-                self.resources.disk.acquire(read_time, after_reads)
-            else:
-                after_reads()
+    def _complete_certification(self, batch: List[TransactionContext],
+                                epoch: int) -> None:
+        """The batched round trip returned: certify, piggyback, deliver.
 
-        def after_reads() -> None:
-            if self.epoch != epoch:
-                return
-            if writeset is None:
-                self._finish(txn_id, txn_type, submitted_at, work, committed=True,
-                             on_done=on_done)
-                return
-            # One round trip to the certifier.
-            self.sim.defer(self.proxy.config.certification_latency_s, certify)
-
-        def certify() -> None:
-            if self.epoch != epoch:
-                # The replica crashed before the commit registered; the
-                # transaction dies uncertified.
-                return
-            stamped = writeset.__class__(
+        The requests are certified in FIFO order, so commit versions respect
+        the order in which this proxy's transactions reached certification.
+        The response carries every writeset committed since the proxy's
+        applied version (including this batch's own commits); applying them
+        before delivering outcomes means committed transactions leave the
+        replica current and aborted ones retry on a fresh snapshot.
+        """
+        if self.epoch != epoch or not self.alive:
+            # The replica crashed while the round trip was in flight.  The
+            # batched transactions die uncertified; their admission slots
+            # went down with the crashed controller, so dropping the batch
+            # leaks nothing.  crash() reset the batcher for the next epoch.
+            return
+        proxy = self.proxy
+        replica_id = self.replica_id
+        requests = []
+        for ctx in batch:
+            writeset = ctx.writeset
+            requests.append((writeset.__class__(
                 transaction_type=writeset.transaction_type,
                 items=writeset.items,
-                origin_replica=self.replica_id,
-                snapshot_version=snapshot,
-            )
-            result = self.certifier.certify(stamped, snapshot, now=self.sim.now)
+                origin_replica=replica_id,
+                snapshot_version=ctx.snapshot,
+            ), ctx.snapshot))
+        results, piggyback = self.certifier.certify_batch(
+            requests, since_version=proxy.applied_version, now=self.sim.now)
+        committed_any = False
+        for i, result in enumerate(results):
             if result.committed:
                 # Dirty pages go to the background writer; the transaction
                 # does not wait for them (durability lives in the middleware).
-                write_time = self.disk_model.write_seconds(work.write_bytes)
+                write_time = self.disk_model.write_seconds(batch[i].work.write_bytes)
                 if write_time > 0:
                     self.resources.disk.add_background_work(write_time)
-                self.proxy.advance(result.version)
-                self.engine.snapshots.advance(result.version)
                 self.committed_updates += 1
-                if self.on_local_commit is not None:
-                    entry = CertifiedWriteSet(version=result.version, writeset=stamped,
-                                              commit_time=self.sim.now)
-                    self.on_local_commit(self, entry)
-                self._finish(txn_id, txn_type, submitted_at, work, committed=True,
-                             on_done=on_done)
+                committed_any = True
+        if committed_any and self.on_local_commit is not None:
+            # One notification covers the whole batch: every commit is
+            # already registered at the certifier before the hook runs.
+            self.on_local_commit(self)
+        if piggyback:
+            # Writesets missed since our snapshot, piggybacked on the
+            # certification response (Section 4.2).  This also advances the
+            # applied cursor past this batch's own commits.
+            self.apply_remote_writesets(piggyback)
+        for i, result in enumerate(results):
+            ctx = batch[i]
+            if result.committed:
+                self._finish(ctx, committed=True)
             else:
                 self.aborted += 1
                 if self.metrics is not None:
                     self.metrics.record_abort()
-                self.engine.snapshots.finish(txn_id)
-                if attempt < self.max_retries:
+                self.engine.snapshots.finish(ctx.txn_id)
+                if ctx.attempt < self.max_retries:
                     # Retry immediately on the same replica, keeping the
-                    # admission slot (the prototype aborts and retries).
-                    self._retry(txn_type, submitted_at, on_done, attempt + 1)
+                    # admission slot; the piggybacked writesets were applied
+                    # above, so the retry begins at a fresh snapshot.
+                    ctx.attempt += 1
+                    self._start(ctx)
                 else:
-                    self._finish(txn_id, txn_type, submitted_at, work, committed=False,
-                                 on_done=on_done, already_closed=True)
-
-        cpu_time = work.cpu_seconds
-        if cpu_time > 0:
-            self.resources.cpu.acquire(cpu_time, after_cpu)
+                    self._finish(ctx, committed=False, already_closed=True)
+        if self._cert_queue:
+            # More transactions reached certification while this round trip
+            # was in flight: they depart together as the next batch.
+            self._dispatch_certification()
         else:
-            after_cpu()
+            self._cert_inflight = False
 
-    def _retry(self, txn_type: TransactionType, submitted_at: float,
-               on_done: CompletionCallback, attempt: int) -> None:
-        self._start(txn_type, submitted_at, on_done, attempt)
-
-    def _finish(self, txn_id: int, txn_type: TransactionType, submitted_at: float,
-                work: TransactionWork, committed: bool, on_done: CompletionCallback,
+    def _finish(self, ctx: TransactionContext, committed: bool,
                 already_closed: bool = False) -> None:
+        ctx.state = TransactionContext.DONE
         if not already_closed:
-            self.engine.snapshots.finish(txn_id)
+            self.engine.snapshots.finish(ctx.txn_id)
         self.completed += 1
         if self.metrics is not None and committed:
             now = self.sim.now
+            work = ctx.work
             self.metrics.record_completion(
-                now, txn_type.name, self.replica_id, now - submitted_at,
-                txn_type.is_update, work.read_bytes,
+                now, ctx.txn_type.name, self.replica_id, now - ctx.submitted_at,
+                ctx.txn_type.is_update, work.read_bytes,
                 self.disk_model.effective_write_bytes(work.write_bytes),
             )
         self.proxy.admission.release()
-        on_done(committed)
+        ctx.on_done(committed)
 
     # ------------------------------------------------------------------
     # Crash / restore (elasticity)
@@ -179,11 +306,13 @@ class Replica:
     def crash(self) -> None:
         """Fail the replica: in-flight transactions are abandoned.
 
-        The epoch bump fences every continuation already in the event queue;
-        the admission controller is rebuilt so queued-but-unstarted work is
-        discarded.  Durable state (the applied-version cursor) survives, as
-        it would on disk; the page cache is cleared by recovery.  Idempotent
-        while down.
+        The epoch bump fences every continuation already in the event queue,
+        including the in-flight certification round trip; the admission
+        controller is rebuilt so queued-but-unstarted work is discarded, and
+        the certification batcher is reset (its queued contexts die with
+        their admission slots).  Durable state (the applied-version cursor)
+        survives, as it would on disk; the page cache is cleared by
+        recovery.  Idempotent while down.
         """
         if not self.alive:
             return
@@ -191,6 +320,8 @@ class Replica:
         self.epoch += 1
         self.crashes += 1
         self.proxy.admission = AdmissionController(self.proxy.config.max_concurrency)
+        self._cert_queue = []
+        self._cert_inflight = False
         self.engine.snapshots.abort_open()
 
     # ------------------------------------------------------------------
@@ -201,25 +332,18 @@ class Replica:
 
         Writesets originating at this replica are skipped (their effects are
         already local); the rest are applied subject to the proxy's update
-        filter.  Each entry's buffer-pool effects are applied individually
-        (cache state evolves entry by entry), but the resulting CPU time,
-        disk service time and background-I/O accounting are *aggregated over
-        the batch* and charged once -- a pull that returns dozens of
-        writesets used to pay per-entry resource bookkeeping, which showed
-        up as a hot path on paper-scale runs.
+        filter (``proxy.filter_tables``, the single source of filtering
+        truth, evaluated per item by the engine).  The buffer-pool effects,
+        CPU time, disk service time and background-I/O accounting are all
+        aggregated over the batch (per relation, by
+        ``engine.apply_writesets_fast``) and charged once -- a pull that
+        returns dozens of writesets used to pay per-entry resource
+        bookkeeping, which showed up as a hot path on paper-scale runs.
         """
         proxy = self.proxy
         engine = self.engine
-        apply_writeset_fast = engine.apply_writeset_fast
-        disk_model = self.disk_model
-        filter_tables = proxy.filter_tables
         replica_id = self.replica_id
-        cpu_seconds = 0.0
-        io_seconds = 0.0
-        read_bytes = 0.0
-        write_bytes = 0.0
-        applications = 0
-        filtered = 0
+        to_apply = None
         applied_version = proxy.applied_version
         for entry in entries:
             version = entry.version
@@ -227,38 +351,37 @@ class Replica:
                 continue
             writeset = entry.writeset
             if writeset.origin_replica != replica_id:
-                cpu, random_read, written = \
-                    apply_writeset_fast(writeset, filter_tables)
-                if written > 0 or cpu > 0:
-                    applications += 1
-                    cpu_seconds += cpu
-                    io_seconds += disk_model.read_seconds(random_read, 0.0)
-                    io_seconds += disk_model.write_seconds(written)
-                    read_bytes += random_read
-                    write_bytes += written
+                if to_apply is None:
+                    to_apply = [writeset]
                 else:
-                    filtered += 1
+                    to_apply.append(writeset)
             applied_version = version
-        if applications:
-            proxy.writesets_applied += applications
-        if filtered:
-            proxy.writesets_filtered += filtered
+        if to_apply is not None:
+            disk_model = self.disk_model
+            cpu_seconds, read_bytes, write_bytes, applications, filtered = \
+                engine.apply_writesets_fast(to_apply, proxy.filter_tables)
+            if applications:
+                proxy.writesets_applied += applications
+            if filtered:
+                proxy.writesets_filtered += filtered
+            io_seconds = disk_model.read_seconds(read_bytes, 0.0) \
+                + disk_model.write_seconds(write_bytes)
+            if cpu_seconds > 0:
+                self.resources.cpu.add_background_work(cpu_seconds)
+            if io_seconds > 0:
+                self.resources.disk.add_background_work(io_seconds)
+            if self.metrics is not None and (read_bytes > 0 or write_bytes > 0):
+                self.metrics.record_background_io(
+                    time=self.sim.now,
+                    replica_id=replica_id,
+                    read_bytes=read_bytes,
+                    write_bytes=disk_model.effective_write_bytes(write_bytes),
+                )
         if applied_version > proxy.applied_version:
             # Cursors are committed once per batch; versions inside a batch
             # ascend, so the final advance is equivalent to per-entry ones.
             proxy.advance(applied_version)
             engine.snapshots.advance(applied_version)
-        if cpu_seconds > 0:
-            self.resources.cpu.add_background_work(cpu_seconds)
-        if io_seconds > 0:
-            self.resources.disk.add_background_work(io_seconds)
-        if self.metrics is not None and (read_bytes > 0 or write_bytes > 0):
-            self.metrics.record_background_io(
-                time=self.sim.now,
-                replica_id=self.replica_id,
-                read_bytes=read_bytes,
-                write_bytes=disk_model.effective_write_bytes(write_bytes),
-            )
 
     def pull_updates(self) -> int:
         """Fetch and apply all writesets committed since our applied version.

@@ -56,6 +56,38 @@ def test_writesets_since_and_lag_notifications():
     assert not cert.should_notify(replica_applied_version=4)
 
 
+def test_certify_batch_is_fifo_and_piggybacks_missed_writesets():
+    cert = Certifier()
+    cert.certify(ws("x", [1]), snapshot_version=0)            # v1, from elsewhere
+    requests = [(ws("a", [1]), 1), (ws("b", [1]), 1), (ws("c", [1]), 1)]
+    results, piggyback = cert.certify_batch(requests, since_version=0)
+    assert [r.committed for r in results] == [True, True, True]
+    # FIFO: commit versions follow the batch order.
+    assert [r.version for r in results] == [2, 3, 4]
+    # The piggyback covers everything since the requester's applied version,
+    # including the batch's own commits.
+    assert [e.version for e in piggyback] == [1, 2, 3, 4]
+    assert cert.stats.batches == 1
+    assert cert.stats.batched_requests == 3
+
+
+def test_certify_batch_intra_batch_conflicts_abort():
+    cert = Certifier()
+    requests = [(ws("a", [7]), 0), (ws("a", [7]), 0), (ws("a", [8]), 0)]
+    results, piggyback = cert.certify_batch(requests, since_version=0)
+    # The second writeset conflicts with the first one's commit exactly as
+    # if they had arrived as separate requests.
+    assert [r.committed for r in results] == [True, False, True]
+    assert results[1].conflict_with == 1
+    assert [e.version for e in piggyback] == [1, 2]
+
+
+def test_certify_batch_empty_piggyback_when_current():
+    cert = Certifier()
+    results, piggyback = cert.certify_batch([], since_version=0)
+    assert results == [] and piggyback == []
+
+
 def test_truncation_and_recovery_boundary():
     cert = Certifier()
     for i in range(10):

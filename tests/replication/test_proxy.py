@@ -34,18 +34,21 @@ def test_invalid_configs():
         ProxyConfig(pull_interval_s=0)
     with pytest.raises(ValueError):
         ProxyConfig(certification_latency_s=-1)
+    with pytest.raises(ValueError):
+        ProxyConfig(max_certification_batch=0)
+    with pytest.raises(ValueError):
+        ProxyConfig(notification_latency_s=-1)
 
 
-def test_filtering_decisions():
+def test_filtering_state():
     proxy = ReplicaProxy(0)
-    assert proxy.should_apply("anything")
+    assert proxy.filter_tables is None
     proxy.set_filter({"orders"})
     assert proxy.filtering_enabled
-    assert proxy.should_apply("orders")
-    assert not proxy.should_apply("users")
+    assert proxy.filter_tables == {"orders"}
     proxy.set_filter(None)
     assert not proxy.filtering_enabled
-    assert proxy.should_apply("users")
+    assert proxy.filter_tables is None
 
 
 def test_propagation_cursor_is_monotonic():
@@ -53,7 +56,3 @@ def test_propagation_cursor_is_monotonic():
     proxy.advance(5)
     proxy.advance(3)
     assert proxy.applied_version == 5
-    proxy.record_application(True)
-    proxy.record_application(False)
-    assert proxy.writesets_applied == 1
-    assert proxy.writesets_filtered == 1

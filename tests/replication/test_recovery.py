@@ -26,6 +26,19 @@ def test_replicated_log_mirrors_commits_and_fails_over():
     assert new_leader.current_version == 5
 
 
+def test_replicated_log_serves_batched_round_trips():
+    log = ReplicatedCertifierLog.create(num_backups=2)
+    log.certify(ws("a", 0), snapshot_version=0)
+    results, piggyback = log.certify_batch(
+        [(ws("a", 1), 1), (ws("a", 2), 1)], since_version=0)
+    assert [r.version for r in results] == [2, 3]
+    assert [e.version for e in piggyback] == [1, 2, 3]
+    # Batched commits are mirrored like single ones: fail-over loses nothing.
+    log.fail_over()
+    assert log.current_version == 3
+    assert log.log_is_total_order()
+
+
 def test_fail_over_without_backups_raises():
     log = ReplicatedCertifierLog.create(num_backups=0)
     with pytest.raises(RuntimeError):
