@@ -23,6 +23,12 @@ Scenarios:
   trip, each batch's response piggybacking the writesets committed since the
   requesting replica's applied version), measuring the batched path
   end to end, piggyback included.
+* ``dispatch-micro`` -- routing-bound microbenchmark: MALB dispatch/complete
+  cycles against a high-replica-count cluster view (TPC-W type catalogue,
+  48 replicas), with periodic rebalances invalidating the candidate cache,
+  and no engine or event loop in the way.  Isolates the balancer dispatch
+  path (``choose_replica`` + the RoutingTable accounting) that fig6 profiles
+  showed dominating after PR 3.
 """
 
 from __future__ import annotations
@@ -170,10 +176,105 @@ def _certifier_batch(quick: bool) -> ScenarioTiming:
     )
 
 
+def _dispatch_micro(quick: bool) -> ScenarioTiming:
+    from collections import deque
+
+    from repro.core.grouping import GroupingMethod
+    from repro.core.malb import MemoryAwareLoadBalancer
+    from repro.core.routing import RoutingTable
+    from repro.storage.catalog import Catalog
+    from repro.storage.pages import mb
+    from repro.storage.planner import QueryPlanner
+    from repro.workloads.generator import WorkloadGenerator
+    from repro.workloads.tpcw import DATABASE_SIZES, make_tpcw
+
+    replicas = 16 if quick else 48
+    requests = 60_000 if quick else 300_000
+    spec = make_tpcw(DATABASE_SIZES["MidDB"])
+
+    class _View:
+        """ClusterView over a routing table, with no simulator behind it."""
+
+        def __init__(self) -> None:
+            self.routing = RoutingTable()
+            for rid in range(replicas):
+                self.routing.add_replica(rid)
+            self._catalog = Catalog(schema=spec.schema)
+            self._planner = QueryPlanner(catalog=self._catalog)
+
+        def replica_ids(self):
+            return list(self.routing.replica_ids())
+
+        def outstanding(self, rid):
+            return self.routing.outstanding_of(rid)
+
+        def load(self, rid):
+            return self.routing.load_of(rid)
+
+        def replica_memory_bytes(self):
+            return mb(512) - mb(70)
+
+        def catalog(self):
+            return self._catalog
+
+        def planner(self):
+            return self._planner
+
+        def workload(self):
+            return spec
+
+    view = _View()
+    balancer = MemoryAwareLoadBalancer(method=GroupingMethod.MALB_SC)
+    balancer.attach(view)
+    generator = WorkloadGenerator.constant(spec, "ordering", seed=11)
+    generator.sample_types(0.0, 2000)
+    balancer.observe_mix(generator.drain_type_counts())
+
+    routing = view.routing
+    inflight = deque()
+    window = 12 * replicas          # closed-loop-ish outstanding bound
+    rebalance_every = 5_000         # periodic work invalidates the caches
+    completed = 0
+    start = time.perf_counter()
+    for i in range(requests):
+        txn_type = generator.next_type(0.0)
+        rid = balancer.dispatch(txn_type)
+        routing.on_dispatch(rid)
+        inflight.append((rid, txn_type))
+        if len(inflight) >= window:
+            done_rid, done_type = inflight.popleft()
+            routing.on_complete(done_rid)
+            balancer.on_complete(done_rid, done_type)
+            completed += 1
+        if i % rebalance_every == rebalance_every - 1:
+            balancer.ingest_mix_counts(generator.drain_type_counts())
+            balancer.periodic(now=i * 0.002)
+    wall = time.perf_counter() - start
+    return ScenarioTiming(
+        name="dispatch-micro",
+        wall_seconds=wall,
+        sim_seconds=0.0,
+        events_processed=requests,
+        transactions_completed=completed,
+        # No simulated clock here, so there is no meaningful tps; the
+        # wall-clock dispatch rate goes under extra (machine-dependent, like
+        # events_per_second) instead of polluting a result field that
+        # cross-PR BENCH comparisons expect to be stable.
+        throughput_tps=0.0,
+        extra={
+            "dispatches_per_second": requests / wall if wall > 0 else 0.0,
+            "replicas": float(replicas),
+            "groups": float(len(balancer.groups)),
+            "allocator_version": float(balancer.allocator.version),
+        },
+    )
+
+
 SCENARIOS: Dict[str, Callable[[bool], ScenarioTiming]] = {
     "midsize-malb": _midsize,
     "fig6-dynamic": _fig6_dynamic,
     "flash-crowd": _flash_crowd,
     "certifier-micro": _certifier_micro,
     "certifier-batch": _certifier_batch,
+    "dispatch-micro": _dispatch_micro,
 }

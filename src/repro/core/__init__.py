@@ -13,6 +13,7 @@ from repro.core.grouping import (
     merge_groups,
 )
 from repro.core.malb import MemoryAwareLoadBalancer
+from repro.core.routing import RoutingTable
 from repro.core.update_filtering import (
     FilterPlan,
     compute_filter_plan,
@@ -40,6 +41,7 @@ __all__ = [
     "PackItem",
     "ReplicaAllocator",
     "RoundRobinBalancer",
+    "RoutingTable",
     "TransactionGroup",
     "WorkingSetEstimate",
     "WorkingSetEstimator",

@@ -93,6 +93,11 @@ class ReplicaAllocator:
         self.assignment: Dict[str, List[int]] = {}
         self.actions: List[AllocationAction] = []
         self.frozen = False
+        #: assignment version: bumped whenever the group -> replicas mapping
+        #: may have changed, so balancers can cache routing state derived
+        #: from it (MALB's type -> candidate-replica table) and re-derive it
+        #: only on change instead of per dispatch.
+        self.version = 0
         self._initial_allocation()
 
     # ------------------------------------------------------------------
@@ -162,6 +167,16 @@ class ReplicaAllocator:
     # Invariants
     # ------------------------------------------------------------------
     def validate(self) -> None:
+        """Check the assignment invariants (and publish a new version).
+
+        Every mutation path -- initial allocation, membership changes, single
+        moves, merge/split/expand/contract, fast re-allocation, and MALB's
+        demand-target moves -- ends with a ``validate()`` call, which makes
+        it the single choke point for signalling "the assignment may have
+        changed" to version-keyed caches.  A validate that changed nothing
+        only costs those caches a spurious rebuild.
+        """
+        self.version += 1
         assigned: Set[int] = set()
         for group_id, replicas in self.assignment.items():
             if not replicas:

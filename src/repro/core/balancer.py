@@ -14,6 +14,13 @@ This module defines the interface every policy implements
 information model: a policy can only use information the real middleware
 could obtain (transaction type, outstanding connections, utilisation,
 catalog metadata and plans) -- never the simulator's ground truth.
+
+Load accounting is event-driven: the view carries a
+:class:`~repro.core.routing.RoutingTable` whose outstanding counters and
+effective-load scores are maintained incrementally by the admission layer's
+``on_dispatch`` / ``on_complete`` notifications (and by the monitoring
+daemons publishing samples), so a policy's ``choose_replica`` reads cached
+state instead of re-deriving it per dispatch.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from __future__ import annotations
 import abc
 from typing import Dict, List, Optional, Protocol, Set
 
+from repro.core.routing import RoutingTable
 from repro.sim.monitor import LoadSample
 from repro.storage.catalog import Catalog
 from repro.storage.planner import QueryPlanner
@@ -29,6 +37,12 @@ from repro.workloads.spec import TransactionType, WorkloadSpec
 
 class ClusterView(Protocol):
     """What a load-balancing policy is allowed to see of the cluster."""
+
+    #: Event-maintained routing state: per-replica outstanding counters,
+    #: cached live-replica ids, and effective-load scores.  This is the fast
+    #: path every dispatch reads; the methods below are the slow-path /
+    #: introspection interface over the same information.
+    routing: RoutingTable
 
     def replica_ids(self) -> List[int]:
         """Identifiers of all database replicas."""
@@ -60,31 +74,6 @@ class ClusterView(Protocol):
         ...
 
 
-def least_loaded(view: "ClusterView", candidates) -> int:
-    """The candidate with the fewest outstanding transactions (ties: lowest id).
-
-    Equivalent to ``min(candidates, key=lambda rid: (view.outstanding(rid),
-    rid))`` but without building a key tuple per candidate -- this runs once
-    per dispatched transaction, which makes it one of the simulator's hottest
-    loops.  Views that expose ``outstanding_map`` (the real cluster does)
-    save one method call per candidate.
-    """
-    counts = getattr(view, "outstanding_map", None)
-    if callable(counts):
-        counts = counts()
-    best = -1
-    best_outstanding = -1
-    for rid in candidates:
-        outstanding = counts[rid] if counts is not None else view.outstanding(rid)
-        if best < 0 or outstanding < best_outstanding or \
-                (outstanding == best_outstanding and rid < best):
-            best = rid
-            best_outstanding = outstanding
-    if best < 0:
-        raise ValueError("least_loaded needs at least one candidate")
-    return best
-
-
 class LoadBalancer(abc.ABC):
     """Base class for all dispatching policies."""
 
@@ -93,6 +82,7 @@ class LoadBalancer(abc.ABC):
 
     def __init__(self) -> None:
         self.view: Optional[ClusterView] = None
+        self.routing: Optional[RoutingTable] = None
         self.dispatched: int = 0
 
     # ------------------------------------------------------------------
@@ -101,6 +91,7 @@ class LoadBalancer(abc.ABC):
     def attach(self, view: ClusterView) -> None:
         """Give the policy its view of the cluster.  Called once at start-up."""
         self.view = view
+        self.routing = view.routing
         self.on_attach()
 
     def on_attach(self) -> None:
@@ -110,6 +101,11 @@ class LoadBalancer(abc.ABC):
         if self.view is None:
             raise RuntimeError("load balancer %r used before attach()" % (self.name,))
         return self.view
+
+    def _require_routing(self) -> RoutingTable:
+        if self.routing is None:
+            raise RuntimeError("load balancer %r used before attach()" % (self.name,))
+        return self.routing
 
     # ------------------------------------------------------------------
     # Dispatching
@@ -123,6 +119,15 @@ class LoadBalancer(abc.ABC):
         replica_id = self.choose_replica(txn_type)
         self.dispatched += 1
         return replica_id
+
+    def on_dispatch(self, replica_id: int, txn_type: TransactionType) -> None:
+        """Notification that a transaction was admitted to ``replica_id``.
+
+        The cluster maintains the shared routing table's counters itself and
+        invokes this hook only for policies that override it (checked once at
+        attach time), so the built-in policies pay nothing for it.  Override
+        to keep private per-dispatch state in sync with admissions.
+        """
 
     def on_complete(self, replica_id: int, txn_type: TransactionType) -> None:
         """Notification that a dispatched transaction finished at ``replica_id``."""
@@ -154,9 +159,21 @@ class LoadBalancer(abc.ABC):
         """Feed the policy an observation of the transaction mix.
 
         The cluster calls this with a sample of recently requested
-        transaction types (name -> count).  Policies that allocate replicas
-        to transaction groups use it to size their allocation to the demand;
-        baselines ignore it.
+        transaction types (name -> count) before the run starts.  Policies
+        that allocate replicas to transaction groups use it to size their
+        allocation to the demand; baselines ignore it.
+        """
+
+    def ingest_mix_counts(self, type_counts: Dict[str, int]) -> None:
+        """Fold a batch of streamed demand counters into the policy's estimate.
+
+        The admission layer counts issued transaction types incrementally
+        (integer counters in the workload generator) and drains them to the
+        policy in batch -- before every periodic tick and before every
+        membership change -- instead of the policy paying a dict update per
+        dispatched transaction.  Unlike :meth:`observe_mix`, ingesting never
+        triggers re-sizing; the policy acts on the updated estimate at its
+        own rebalance points.  Baselines ignore it.
         """
 
     def preferred_relations(self, replica_id: int) -> Optional[Dict[str, int]]:

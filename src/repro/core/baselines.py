@@ -15,14 +15,19 @@ against:
 Plain round robin is included as well because the introduction mentions it
 as the other conventional strategy; it is useful as a sanity baseline in
 tests.
+
+All three read the view's :class:`~repro.core.routing.RoutingTable`: the
+live replica ids and the outstanding counters are maintained by the
+cluster's dispatch/complete/membership events, so ``choose_replica`` never
+re-derives them per call.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
-from repro.core.balancer import LoadBalancer, least_loaded
+from repro.core.balancer import LoadBalancer
 from repro.workloads.spec import TransactionType
 
 
@@ -36,8 +41,7 @@ class RoundRobinBalancer(LoadBalancer):
         self._next = 0
 
     def choose_replica(self, txn_type: TransactionType) -> int:
-        view = self._require_view()
-        replicas = view.replica_ids()
+        replicas = self._require_routing().replica_ids()
         if not replicas:
             raise RuntimeError("cluster has no replicas")
         replica = replicas[self._next % len(replicas)]
@@ -54,11 +58,11 @@ class LeastConnectionsBalancer(LoadBalancer):
     name = "LeastConnections"
 
     def choose_replica(self, txn_type: TransactionType) -> int:
-        view = self._require_view()
-        replicas = view.replica_ids()
+        routing = self._require_routing()
+        replicas = routing.replica_ids()
         if not replicas:
             raise RuntimeError("cluster has no replicas")
-        return least_loaded(view, replicas)
+        return routing.least_loaded(replicas)
 
 
 @dataclass
@@ -100,32 +104,31 @@ class LardBalancer(LoadBalancer):
             self._types[type_name] = _LardTypeState()
         return self._types[type_name]
 
-    def _least_loaded(self, candidates: List[int]) -> int:
-        return least_loaded(self._require_view(), candidates)
-
     def choose_replica(self, txn_type: TransactionType) -> int:
-        view = self._require_view()
-        replicas = view.replica_ids()
+        routing = self._require_routing()
+        replicas = routing.replica_ids()
         if not replicas:
             raise RuntimeError("cluster has no replicas")
         state = self._state(txn_type.name)
-        state.servers = [rid for rid in state.servers if rid in replicas]
+        live = routing.replica_id_set()
+        state.servers = [rid for rid in state.servers if rid in live]
 
         if not state.servers:
-            chosen = self._least_loaded(replicas)
+            chosen = routing.least_loaded(replicas)
             state.servers.append(chosen)
             return chosen
 
-        chosen = self._least_loaded(state.servers)
-        if view.outstanding(chosen) < self.high_watermark:
+        chosen = routing.least_loaded(state.servers)
+        outstanding = routing.outstanding
+        if outstanding[chosen] < self.high_watermark:
             return chosen
 
         # The type's current servers are overloaded: spill to the globally
         # least-loaded replica (LARD/R set expansion).  This is precisely the
         # behaviour the paper identifies as harmful for large transactions:
         # the new replica's memory gets wiped as well.
-        global_choice = self._least_loaded(replicas)
-        if view.outstanding(global_choice) >= self.high_watermark:
+        global_choice = routing.least_loaded(replicas)
+        if outstanding[global_choice] >= self.high_watermark:
             # Every replica is busy: LARD stops expanding ("turns off").
             return chosen
         if global_choice not in state.servers:
@@ -135,12 +138,13 @@ class LardBalancer(LoadBalancer):
 
     def periodic(self, now: float) -> None:
         """Shrink server sets whose members have become idle."""
-        view = self._require_view()
+        outstanding = self._require_routing().outstanding
         for state in self._types.values():
             if len(state.servers) <= 1:
                 continue
             # Drop the most idle member when the set's total load is low.
-            idle = [rid for rid in state.servers if view.outstanding(rid) <= self.low_watermark]
+            idle = [rid for rid in state.servers
+                    if outstanding[rid] <= self.low_watermark]
             if len(idle) == len(state.servers):
                 state.servers.remove(idle[-1])
 

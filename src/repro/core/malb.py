@@ -24,10 +24,10 @@ groups are formed").
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.allocation import ReplicaAllocator
-from repro.core.balancer import LoadBalancer, least_loaded
+from repro.core.balancer import LoadBalancer
 from repro.core.estimator import WorkingSetEstimator
 from repro.core.grouping import (
     GroupingMethod,
@@ -100,11 +100,21 @@ class MemoryAwareLoadBalancer(LoadBalancer):
         #: demand-estimate decay applied once per rebalance interval, so the
         #: allocation tracks mix changes (Figure 6) within a few intervals.
         self.demand_decay: float = 0.75
+        # type name -> candidate replica ids, rebuilt only when the allocator
+        # assignment (or cluster membership) changes; the common dispatch is
+        # a version check plus an argmin over the cached candidates.
+        self._type_candidates: Dict[str, Tuple[int, ...]] = {}
+        self._cached_allocator: Optional[ReplicaAllocator] = None
+        self._cached_allocator_version: int = -1
+        self._cached_routing_version: int = -1
 
     # ------------------------------------------------------------------
     # Start-up: estimate, group, allocate
     # ------------------------------------------------------------------
     def on_attach(self) -> None:
+        # The routing table computes queueing pressure with this policy's
+        # normaliser (Section 4.3 refinement, see _effective_loads).
+        self._require_routing().queue_pressure_norm = self.queue_pressure_norm
         self._build_configuration()
 
     def _build_configuration(self) -> None:
@@ -138,11 +148,12 @@ class MemoryAwareLoadBalancer(LoadBalancer):
         """Seed the demand estimate and size the allocation accordingly.
 
         The cluster feeds the balancer a sample of requested transaction
-        types before the run starts (and the balancer keeps updating the
-        estimate from its own dispatch stream).  Replica targets are
-        proportional to each group's observed demand weighted by a per-type
-        cost proxy, which is how the allocation ends up looking like the
-        paper's Table 2 (the busiest groups hold most of the cluster).
+        types before the run starts (and keeps streaming the issued-type
+        counters to :meth:`ingest_mix_counts` while it runs).  Replica
+        targets are proportional to each group's observed demand weighted by
+        a per-type cost proxy, which is how the allocation ends up looking
+        like the paper's Table 2 (the busiest groups hold most of the
+        cluster).
         """
         for name, count in type_counts.items():
             self._observed_counts[name] = self._observed_counts.get(name, 0.0) + float(count)
@@ -153,9 +164,19 @@ class MemoryAwareLoadBalancer(LoadBalancer):
             # at configuration time, and then never adapted again.
             self._apply_demand_targets(max_moves=None)
 
-    def dispatch(self, txn_type: TransactionType) -> int:
-        self._observed_counts[txn_type.name] = self._observed_counts.get(txn_type.name, 0.0) + 1.0
-        return super().dispatch(txn_type)
+    def ingest_mix_counts(self, type_counts: Dict[str, int]) -> None:
+        """Fold streamed issue counters into the demand estimate.
+
+        Called by the cluster with the types issued since the last drain
+        (before every periodic tick and membership change), replacing the
+        per-transaction dict update the dispatch path used to pay.  Unlike
+        :meth:`observe_mix` this never re-sizes the allocation: the updated
+        estimate is acted on at the next rebalance point, exactly when the
+        per-dispatch accumulation was acted on.
+        """
+        counts = self._observed_counts
+        for name, count in type_counts.items():
+            counts[name] = counts.get(name, 0.0) + count
 
     def _type_cost_proxy(self, type_name: str) -> float:
         """Relative cost of one execution (CPU plus a charge per relation read)."""
@@ -204,7 +225,7 @@ class MemoryAwareLoadBalancer(LoadBalancer):
         moves when the current allocation is already within one replica of
         the target, leaving fine-tuning to the utilisation-based allocator.
         """
-        view = self._require_view()
+        outstanding = self._require_routing().outstanding
         allocator = self._require_allocator()
         targets = self._demand_targets()
         counts_now = allocator.replica_counts()
@@ -229,7 +250,7 @@ class MemoryAwareLoadBalancer(LoadBalancer):
                 break
             if not candidates:
                 break
-            replica = min(candidates, key=lambda rid: (view.outstanding(rid), rid))
+            replica = min(candidates, key=lambda rid: (outstanding[rid], rid))
             allocator.assignment[donor].remove(replica)
             allocator.assignment[receiver].append(replica)
             allocator.validate()
@@ -278,18 +299,59 @@ class MemoryAwareLoadBalancer(LoadBalancer):
     # Dispatching
     # ------------------------------------------------------------------
     def choose_replica(self, txn_type: TransactionType) -> int:
-        view = self._require_view()
-        allocator = self._require_allocator()
-        group_id = self.group_by_type.get(txn_type.name)
-        if group_id is None:
+        """O(candidates-in-group) dispatch over maintained state.
+
+        The type -> candidate-replicas table is rebuilt only when the
+        allocator's assignment version (bumped on every re-allocation and
+        membership change) or the routing table's membership version moved;
+        the common case is a version check, a dict lookup and the argmin
+        over the routing table's outstanding counters.
+        """
+        routing = self.routing
+        allocator = self.allocator
+        if (allocator is None or routing is None
+                or allocator is not self._cached_allocator
+                or allocator.version != self._cached_allocator_version
+                or routing.version != self._cached_routing_version):
+            self._rebuild_candidate_cache()
+            routing = self.routing
+        candidates = self._type_candidates.get(txn_type.name)
+        if candidates is None:
             # Unknown type (not registered when groups were formed): fall
             # back to least connections over the whole cluster.
-            candidates = view.replica_ids()
-        else:
-            candidates = allocator.replicas_of(group_id)
-            if not candidates:
-                candidates = view.replica_ids()
-        return least_loaded(view, candidates)
+            candidates = routing.replica_ids()
+        # RoutingTable.least_loaded, inlined (same argmin, same lowest-id
+        # tie-break): this is the innermost loop of every dispatch.
+        counts = routing.outstanding
+        best = -1
+        best_outstanding = -1
+        for rid in candidates:
+            outstanding = counts[rid]
+            if best < 0 or outstanding < best_outstanding or \
+                    (outstanding == best_outstanding and rid < best):
+                best = rid
+                best_outstanding = outstanding
+        if best < 0:
+            raise ValueError("least_loaded needs at least one candidate")
+        return best
+
+    def _rebuild_candidate_cache(self) -> None:
+        """Re-derive the type -> candidate-replicas routing from the allocator."""
+        self._require_view()
+        routing = self._require_routing()
+        allocator = self._require_allocator()
+        assignment = allocator.assignment
+        table: Dict[str, Tuple[int, ...]] = {}
+        for type_name, group_id in self.group_by_type.items():
+            candidates: Sequence[int] = assignment.get(group_id, ())
+            # A group can momentarily have no replicas only through direct
+            # allocator manipulation (validate() forbids it otherwise); fall
+            # back to the whole cluster, as the uncached path always did.
+            table[type_name] = tuple(candidates) if candidates else routing.replica_ids()
+        self._type_candidates = table
+        self._cached_allocator = allocator
+        self._cached_allocator_version = allocator.version
+        self._cached_routing_version = routing.version
 
     # ------------------------------------------------------------------
     # Periodic work: re-allocation, re-grouping, filtering activation
@@ -319,7 +381,7 @@ class MemoryAwareLoadBalancer(LoadBalancer):
                     # spill an overloaded group onto an idle machine when no
                     # exclusive donor exists (elastic clusters with fewer
                     # replicas than groups).
-                    loads = {rid: self._effective_load(rid) for rid in view.replica_ids()}
+                    loads = self._effective_loads()
                     action = (allocator._try_split(loads)
                               or allocator._try_merge(loads)
                               or allocator._try_expand(loads)
@@ -344,24 +406,20 @@ class MemoryAwareLoadBalancer(LoadBalancer):
                   and now - self._last_move_time >= 2 * self.rebalance_interval_s):
                 self._enable_filtering()
 
-    def _effective_load(self, replica_id: int):
-        """Smoothed utilisation, augmented with queueing pressure.
+    def _effective_loads(self):
+        """Per-replica smoothed utilisation augmented with queueing pressure.
 
         Raw utilisation saturates at 100%, so once several groups queue it no
-        longer distinguishes an overloaded group from a merely busy one.  The
-        replica's outstanding-connection count (which the balancer sees
-        anyway, Section 4.3) is folded in as additional pressure so that the
-        most backed-up group still attracts replicas.  This is an
-        implementation refinement over the paper's pure-utilisation load
-        signal; the ablation benches can disable it by freezing allocation.
+        longer distinguishes an overloaded group from a merely busy one; the
+        routing table folds the outstanding-connection count (which the
+        balancer sees anyway, Section 4.3) into the score it maintains from
+        the dispatch/complete/monitor events, so reading it here never
+        re-samples.  This is an implementation refinement over the paper's
+        pure-utilisation load signal; the ablation benches can disable it by
+        freezing allocation.
         """
-        from repro.sim.monitor import LoadSample
-
-        view = self._require_view()
-        sample = view.load(replica_id)
-        pressure = min(2.0, view.outstanding(replica_id) / float(self.queue_pressure_norm))
-        return LoadSample(cpu=max(sample.cpu, pressure if pressure > 1.0 else sample.cpu),
-                          disk=sample.disk)
+        routing = self._require_routing()
+        return {rid: routing.effective_load(rid) for rid in routing.replica_ids()}
 
     def _enable_filtering(self) -> None:
         """Install the filter plan and freeze the allocation (Section 4.2.3)."""

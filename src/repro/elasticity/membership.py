@@ -168,21 +168,25 @@ class MembershipManager:
             raise RuntimeError("refusing to remove the last replica in service")
         replica = cluster._deactivate_replica(replica_id)
         cluster.notify_membership_changed()
-        if not drain or cluster._outstanding.get(replica_id, 0) == 0:
-            if cluster._outstanding.get(replica_id, 0) > 0:
+        # The routing table keeps the departed replica's outstanding counter
+        # alive until its last in-flight transaction resolves, so draining
+        # stays exactly accountable after the replica left the live set.
+        outstanding = cluster.routing.outstanding
+        if not drain or outstanding.get(replica_id, 0) == 0:
+            if outstanding.get(replica_id, 0) > 0:
                 replica.crash()
                 cluster._fail_inflight(replica_id)
             self._retire(replica, "immediate")
             return
         self._draining[replica_id] = replica
         self._log("leave", replica_id,
-                  "draining %d in-flight transactions" % cluster._outstanding[replica_id])
+                  "draining %d in-flight transactions" % outstanding[replica_id])
         deadline = cluster.sim.now + self.drain_timeout_s
 
         def poll() -> None:
             if replica_id not in self._draining:
                 return
-            if cluster._outstanding.get(replica_id, 0) == 0:
+            if outstanding.get(replica_id, 0) == 0:
                 self._draining.pop(replica_id)
                 self._retire(replica, "drained")
             elif cluster.sim.now >= deadline:

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from repro.core.balancer import LoadBalancer
+from repro.core.routing import RoutingTable
 from repro.replication.certifier import Certifier
 from repro.replication.proxy import ProxyConfig
 from repro.replication.recovery import ReplicatedCertifierLog
@@ -137,6 +138,41 @@ class _Notification:
         self.replica.pull_updates()
 
 
+class _InFlight:
+    """The completion continuation of one admitted transaction.
+
+    Slotted and allocated once per admission (the request path's only
+    per-transaction allocation on the cluster side); registered in the
+    replica's in-flight table until it runs, so a crash can fail every
+    registered continuation while the pop guarantees each runs at most once
+    (a late continuation of a crash-failed transaction is a no-op).
+    """
+
+    __slots__ = ("cluster", "pending", "token", "replica_id", "txn_type",
+                 "on_complete")
+
+    def __init__(self, cluster: "ReplicatedCluster", pending: Dict[int, "_InFlight"],
+                 token: int, replica_id: int, txn_type: TransactionType,
+                 on_complete: Callable[[], None]) -> None:
+        self.cluster = cluster
+        self.pending = pending
+        self.token = token
+        self.replica_id = replica_id
+        self.txn_type = txn_type
+        self.on_complete = on_complete
+
+    def __call__(self, committed: bool) -> None:
+        if self.pending.pop(self.token, None) is None:
+            return
+        cluster = self.cluster
+        replica_id = self.replica_id
+        cluster.routing.on_complete(replica_id)
+        hook = cluster._complete_hook
+        if hook is not None:
+            hook(replica_id, self.txn_type)
+        self.on_complete()
+
+
 class ReplicatedCluster:
     """Builds and runs one replicated-database configuration."""
 
@@ -163,7 +199,10 @@ class ReplicatedCluster:
         self.monitor = ClusterMonitor(self.sim, interval=self.config.monitor_interval_s)
         self.metrics = MetricsCollector(warmup_seconds=0.0)
         self.replicas: Dict[int, Replica] = {}
-        self._outstanding: Dict[int, int] = {}
+        #: event-maintained routing state (outstanding counters, live-replica
+        #: cache, effective loads) shared with the balancer through the view.
+        self.routing = RoutingTable()
+        self.monitor.on_sample = self.routing.publish_load
         self._inflight: Dict[int, Dict[int, Callable[[bool], None]]] = {}
         self._inflight_token = 0
         self._pulls_scheduled: Set[int] = set()
@@ -184,6 +223,17 @@ class ReplicatedCluster:
             generator=self.generator,
             submit=self._submit,
         )
+        # Dispatch/complete notifications are opt-in per policy class (none
+        # of the built-in policies override the hooks), so the admission
+        # fast path does not pay a no-op Python call per transaction.
+        self._dispatch_hook = (
+            self.balancer.on_dispatch
+            if type(self.balancer).on_dispatch is not LoadBalancer.on_dispatch
+            else None)
+        self._complete_hook = (
+            self.balancer.on_complete
+            if type(self.balancer).on_complete is not LoadBalancer.on_complete
+            else None)
         self.balancer.attach(self)
 
     # ------------------------------------------------------------------
@@ -225,7 +275,7 @@ class ReplicatedCluster:
         """Put a replica in service: dispatchable, monitored, pulling updates."""
         replica_id = replica.replica_id
         self.replicas[replica_id] = replica
-        self._outstanding.setdefault(replica_id, 0)
+        self.routing.add_replica(replica_id)
         self._inflight.setdefault(replica_id, {})
         self.monitor.register(replica_id, replica.resources)
         if self._started:
@@ -238,6 +288,7 @@ class ReplicatedCluster:
         counters are kept so draining and crash-failing stay accountable.
         """
         replica = self.replicas.pop(replica_id)
+        self.routing.remove_replica(replica_id)
         self.monitor.unregister(replica_id)
         return replica
 
@@ -277,7 +328,13 @@ class ReplicatedCluster:
         return failed
 
     def notify_membership_changed(self) -> None:
-        """Tell the balancer the replica set changed and re-push filters."""
+        """Tell the balancer the replica set changed and re-push filters.
+
+        Pending demand counters are drained first so a policy re-sizing its
+        allocation to the new membership sees the mix up to this instant,
+        exactly as per-dispatch accounting would have.
+        """
+        self._drain_mix_counts()
         self.balancer.on_membership_change()
         self._install_filters()
 
@@ -312,18 +369,10 @@ class ReplicatedCluster:
     # ClusterView protocol (what the load balancer may see)
     # ------------------------------------------------------------------
     def replica_ids(self) -> List[int]:
-        return sorted(self.replicas.keys())
+        return list(self.routing.replica_ids())
 
     def outstanding(self, replica_id: int) -> int:
-        return self._outstanding[replica_id]
-
-    def outstanding_map(self) -> Dict[int, int]:
-        """Per-replica outstanding counts (read-only fast path for balancers).
-
-        May contain entries for replicas no longer in service; balancers
-        index it with the candidate ids they already hold.
-        """
-        return self._outstanding
+        return self.routing.outstanding_of(replica_id)
 
     def load(self, replica_id: int) -> LoadSample:
         return self.monitor.load_of(replica_id)
@@ -352,20 +401,12 @@ class ReplicatedCluster:
         replica = self.replicas.get(replica_id)
         if replica is None:
             raise KeyError("balancer chose unknown replica %r" % (replica_id,))
-        self._outstanding[replica_id] += 1
+        self.routing.on_dispatch(replica_id)
+        if self._dispatch_hook is not None:
+            self._dispatch_hook(replica_id, txn_type)
         token = self._inflight_token = self._inflight_token + 1
         pending = self._inflight[replica_id]
-
-        def done(committed: bool) -> None:
-            # Registered until it runs; a crash fails all registered
-            # callbacks, and the pop makes every path run at most once (a
-            # late continuation of a crash-failed transaction is a no-op).
-            if pending.pop(token, None) is None:
-                return
-            self._outstanding[replica_id] -= 1
-            self.balancer.on_complete(replica_id, txn_type)
-            on_complete()
-
+        done = _InFlight(self, pending, token, replica_id, txn_type, on_complete)
         pending[token] = done
         replica.submit(txn_type, self.sim.now, done)
 
@@ -399,6 +440,19 @@ class ReplicatedCluster:
         """Push the balancer's current update-filtering decision to the proxies."""
         for replica_id, replica in self.replicas.items():
             replica.proxy.set_filter(self.balancer.filter_tables(replica_id))
+
+    def _drain_mix_counts(self) -> None:
+        """Stream the generator's issue counters to the balancer in batch.
+
+        The generator counts every issued transaction type with an integer
+        bump; this folds the accumulated deltas into the balancer's demand
+        estimate.  Called before every balancer tick and membership change,
+        so a policy reading its estimate at those points sees exactly what
+        per-dispatch accounting would have shown it.
+        """
+        counts = self.generator.drain_type_counts()
+        if counts:
+            self.balancer.ingest_mix_counts(counts)
 
     # ------------------------------------------------------------------
     # Certifier-log truncation
@@ -472,11 +526,8 @@ class ReplicatedCluster:
         # to the steady state that allocation implies.
         preview = WorkloadGenerator(spec=self._workload, schedule=self.schedule,
                                     seed=self.config.seed + 7919)
-        counts: Dict[str, int] = {}
-        for _ in range(2000):
-            name = preview.next_type(0.0).name
-            counts[name] = counts.get(name, 0) + 1
-        self.balancer.observe_mix(counts)
+        preview.sample_types(0.0, 2000)
+        self.balancer.observe_mix(preview.drain_type_counts())
         if self.config.warm_start:
             self._warm_replicas()
         self.monitor.start()
@@ -484,8 +535,10 @@ class ReplicatedCluster:
         # Update propagation: every replica pulls on the proxy's interval.
         for replica in self.replicas.values():
             self._schedule_pulls(replica)
-        # Load-balancer periodic work (re-allocation, filter activation).
+        # Load-balancer periodic work (re-allocation, filter activation),
+        # fed the demand counters accumulated since the previous tick.
         def balancer_tick() -> None:
+            self._drain_mix_counts()
             self.balancer.periodic(self.sim.now)
             self._install_filters()
 

@@ -11,6 +11,12 @@ Each client here runs the classic closed loop: think, issue one transaction
 repeat.  The client population talks to the replicated cluster through a
 single ``submit`` callable, so the same client code drives a standalone
 database, a 16-replica cluster, or any load-balancing policy.
+
+Clients are slotted objects whose issue/complete continuations are bound
+once at construction: a client completes hundreds of thousands of
+transactions, and its continuations travel through the event queue's
+``push_bare`` fast path, so the per-transaction loop allocates nothing and
+performs no per-transaction callback-registry lookups.
 """
 
 from __future__ import annotations
@@ -18,7 +24,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from math import log
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, List, Optional, Set
 
 from repro.sim.simulator import Simulator
 from repro.workloads.generator import WorkloadGenerator
@@ -50,6 +56,46 @@ class ClientConfig:
             raise ValueError("think time must be non-negative")
 
 
+class Client:
+    """One closed-loop client: think, issue, wait for completion, repeat.
+
+    ``issue`` and ``complete`` hold the bound continuations, created exactly
+    once: ``issue`` sits in the event queue while the client thinks, and
+    ``complete`` is the callback handed to the cluster with every submitted
+    transaction.  Shared state (RNG, generator, counters, parking) lives on
+    the population.
+    """
+
+    __slots__ = ("population", "client_id", "issue", "complete")
+
+    def __init__(self, population: "ClientPopulation", client_id: int) -> None:
+        self.population = population
+        self.client_id = client_id
+        self.issue = self._issue
+        self.complete = self._complete
+
+    def _issue(self) -> None:
+        pop = self.population
+        if self.client_id >= pop._active_target:
+            pop._parked.add(self.client_id)
+            return
+        txn_type = pop.generator.next_type(pop.sim.now)
+        pop.requests_issued += 1
+        pop.submit(txn_type, self.client_id, self.complete)
+
+    def _complete(self) -> None:
+        pop = self.population
+        pop.requests_completed += 1
+        # Inline exponential think-time draw (see ClientPopulation._think_time
+        # for why the formula is spelled out); think times are never negative
+        # and never cancelled, so the continuation goes straight onto the
+        # event queue.
+        lambd = pop._think_lambd
+        think = -log(1.0 - pop._rng.random()) / lambd if lambd is not None else 0.0
+        sim = pop.sim
+        sim.queue.push_bare(sim.now + think, self.issue)
+
+
 class ClientPopulation:
     """Drives a fixed number of closed-loop clients against the cluster."""
 
@@ -69,13 +115,8 @@ class ClientPopulation:
         # crowds).  Clients with ids at or above the active target park
         # themselves between transactions and are woken when it rises again.
         self._active_target = config.clients
-        self._spawned = 0
+        self._clients: List[Client] = []
         self._parked: Set[int] = set()
-        # Per-client callbacks, created once: a client completes hundreds of
-        # thousands of transactions, so its issue/complete closures must not
-        # be re-allocated per transaction.
-        self._issue_callbacks: Dict[int, Callable[[], None]] = {}
-        self._complete_callbacks: Dict[int, Callable[[], None]] = {}
 
     def start(self) -> None:
         """Start every client with a small random initial offset (idempotent).
@@ -89,10 +130,12 @@ class ClientPopulation:
         self._spawn_up_to(self._active_target)
 
     def _spawn_up_to(self, count: int) -> None:
-        for client_id in range(self._spawned, count):
+        clients = self._clients
+        for client_id in range(len(clients), count):
+            client = Client(self, client_id)
+            clients.append(client)
             offset = self._rng.uniform(0.0, max(self.config.think_time_s, 0.05))
-            self.sim.defer(offset, self._make_issue(client_id))
-        self._spawned = max(self._spawned, count)
+            self.sim.defer(offset, client.issue)
 
     @property
     def active_clients(self) -> int:
@@ -115,38 +158,8 @@ class ClientPopulation:
             if client_id < count:
                 self._parked.discard(client_id)
                 offset = self._rng.uniform(0.0, max(self.config.think_time_s, 0.05))
-                self.sim.defer(offset, self._make_issue(client_id))
+                self.sim.defer(offset, self._clients[client_id].issue)
         self._spawn_up_to(count)
-
-    def _make_issue(self, client_id: int) -> Callable[[], None]:
-        issue = self._issue_callbacks.get(client_id)
-        if issue is None:
-            def issue() -> None:
-                self._issue(client_id)
-            self._issue_callbacks[client_id] = issue
-        return issue
-
-    def _make_complete(self, client_id: int) -> Callable[[], None]:
-        on_complete = self._complete_callbacks.get(client_id)
-        if on_complete is None:
-            issue = self._make_issue(client_id)
-            sim = self.sim
-
-            def on_complete() -> None:
-                self.requests_completed += 1
-                # Think times are never negative and never cancelled: push
-                # straight onto the event queue.
-                sim.queue.push_bare(sim.now + self._think_time(), issue)
-            self._complete_callbacks[client_id] = on_complete
-        return on_complete
-
-    def _issue(self, client_id: int) -> None:
-        if client_id >= self._active_target:
-            self._parked.add(client_id)
-            return
-        txn_type = self.generator.next_type(self.sim.now)
-        self.requests_issued += 1
-        self.submit(txn_type, client_id, self._make_complete(client_id))
 
     def _think_time(self) -> float:
         # Inline exponential draw: -ln(1 - U) / lambda, U = rng.random().

@@ -12,7 +12,7 @@ memory-aware load balancer's replica allocator, and the metrics reports).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.sim.resources import ReplicaResources, Resource
 from repro.sim.simulator import Simulator
@@ -74,7 +74,10 @@ class ClusterMonitor:
     """Monitoring daemons for every replica in the cluster.
 
     Registers a periodic sampling event with the simulator and exposes the
-    latest smoothed sample per replica.
+    latest smoothed sample per replica.  Setting :attr:`on_sample` pushes
+    every fresh sample to a consumer as it is taken (the cluster wires it to
+    its routing table), so balancers read maintained state instead of
+    polling the monitor.
     """
 
     def __init__(self, sim: Simulator, interval: float = 5.0, smoothing: float = 0.5) -> None:
@@ -85,6 +88,8 @@ class ClusterMonitor:
         self.smoothing = smoothing
         self._monitors: Dict[int, ReplicaMonitor] = {}
         self._started = False
+        #: called as ``on_sample(replica_id, sample)`` after every sample.
+        self.on_sample: Optional[Callable[[int, LoadSample], None]] = None
 
     def register(self, replica_id: int, resources: ReplicaResources) -> None:
         self._monitors[replica_id] = ReplicaMonitor(resources, smoothing=self.smoothing)
@@ -101,8 +106,12 @@ class ClusterMonitor:
         self.sim.schedule_periodic(self.interval, self._sample_all)
 
     def _sample_all(self) -> None:
-        for monitor in self._monitors.values():
-            monitor.take_sample(self.sim.now)
+        publish = self.on_sample
+        now = self.sim.now
+        for replica_id, monitor in self._monitors.items():
+            sample = monitor.take_sample(now)
+            if publish is not None:
+                publish(replica_id, sample)
 
     def sample_now(self) -> None:
         """Force an immediate sample of every replica (used by tests)."""

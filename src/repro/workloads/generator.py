@@ -11,9 +11,10 @@ The generator provides two things the experiments need:
 
 from __future__ import annotations
 
+import bisect
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.workloads.spec import Mix, TransactionType, WorkloadSpec
 
@@ -92,6 +93,15 @@ class WorkloadGenerator:
         # runs once per generated transaction; resolving the schedule and the
         # mix object through dict lookups each time was measurable.
         self._active: Optional[Tuple[float, Optional[float], Mix]] = None
+        # Streamed issue counters: next_type bumps one integer in a list
+        # parallel to the active mix's sampling arrays (and resolves the
+        # TransactionType object through the same precomputed list).  The
+        # counters are folded into a per-type dict only when the phase
+        # changes or when drain_type_counts() collects them -- the balancer
+        # consumes demand observations in batch, not per transaction.
+        self._active_types: List[TransactionType] = []
+        self._active_counts: List[int] = []
+        self._folded_counts: Dict[str, int] = {}
 
     @classmethod
     def constant(cls, spec: WorkloadSpec, mix_name: str, seed: int = 0) -> "WorkloadGenerator":
@@ -114,13 +124,54 @@ class WorkloadGenerator:
             else:
                 break
         mix = self.spec.mix(name)
+        self._fold_active_counts()
         self._active = (start, end, mix)
+        self._active_types = [self.spec.type(n) for n in mix._sample_names]
+        self._active_counts = [0] * len(self._active_types)
         return mix
+
+    def _fold_active_counts(self) -> None:
+        """Collapse the active phase's counter list into the per-type dict."""
+        counts = self._active_counts
+        if not counts:
+            return
+        folded = self._folded_counts
+        types = self._active_types
+        for index, count in enumerate(counts):
+            if count:
+                name = types[index].name
+                folded[name] = folded.get(name, 0) + count
+                counts[index] = 0
+
+    def drain_type_counts(self) -> Dict[str, int]:
+        """Issue counts per type since the last drain (empty dict if none).
+
+        The cluster drains these to the balancer's
+        :meth:`~repro.core.balancer.LoadBalancer.ingest_mix_counts` before
+        every periodic tick and membership change.
+        """
+        self._fold_active_counts()
+        drained = self._folded_counts
+        if drained:
+            self._folded_counts = {}
+        return drained
 
     def next_type(self, time: float) -> TransactionType:
         """Sample the transaction type of the next request issued at ``time``."""
-        mix = self.mix_at(time)
-        return self.spec.type(mix.sample(self._rng))
+        active = self._active
+        if active is None or time < active[0] or \
+                (active[1] is not None and time >= active[1]):
+            self.mix_at(time)          # phase change: rebuild the caches
+            active = self._active
+        mix = active[2]
+        # Inline Mix.sample so the drawn index also resolves the cached
+        # TransactionType object and bumps the issue counter: one rng draw,
+        # one bisect, two list reads, one integer add.
+        index = bisect.bisect(mix._sample_cum_weights,
+                              self._rng.random() * mix._sample_total,
+                              0, mix._sample_hi)
+        self._active_counts[index] += 1
+        return self._active_types[index]
 
     def sample_types(self, time: float, count: int) -> List[TransactionType]:
         return [self.next_type(time) for _ in range(count)]

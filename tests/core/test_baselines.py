@@ -1,10 +1,11 @@
 """Tests for the baseline load balancers (round robin, least connections, LARD)."""
 
-from typing import Dict, List
+from typing import List
 
 import pytest
 
 from repro.core.baselines import LardBalancer, LeastConnectionsBalancer, RoundRobinBalancer
+from repro.core.routing import RoutingTable
 from repro.sim.monitor import LoadSample
 from repro.storage.catalog import Catalog
 from repro.storage.planner import QueryPlanner
@@ -13,23 +14,35 @@ from tests.conftest import make_tiny_workload
 
 
 class FakeView:
-    """Minimal ClusterView for exercising policies without a simulator."""
+    """Minimal ClusterView for exercising policies without a simulator.
+
+    Owns a real :class:`RoutingTable`, as the cluster does; tests poke
+    outstanding counters through :meth:`set_outstanding`.
+    """
 
     def __init__(self, replicas=4):
         self.workload_spec = make_tiny_workload()
         self._catalog = Catalog(schema=self.workload_spec.schema)
         self._planner = QueryPlanner(catalog=self._catalog)
-        self._replicas = list(range(replicas))
-        self.outstanding_map: Dict[int, int] = {rid: 0 for rid in self._replicas}
+        self.routing = RoutingTable()
+        for rid in range(replicas):
+            self.routing.add_replica(rid)
 
     def replica_ids(self) -> List[int]:
-        return list(self._replicas)
+        return list(self.routing.replica_ids())
 
     def outstanding(self, rid: int) -> int:
-        return self.outstanding_map[rid]
+        return self.routing.outstanding_of(rid)
+
+    def set_outstanding(self, rid: int, count: int) -> None:
+        self.routing.outstanding[rid] = count
+
+    def reset_outstanding(self) -> None:
+        for rid in self.routing.replica_ids():
+            self.routing.outstanding[rid] = 0
 
     def load(self, rid: int) -> LoadSample:
-        return LoadSample()
+        return self.routing.load_of(rid)
 
     def replica_memory_bytes(self) -> int:
         return 32 * 2**20
@@ -56,7 +69,8 @@ def test_least_connections_picks_least_loaded():
     view = FakeView(3)
     lc = LeastConnectionsBalancer()
     lc.attach(view)
-    view.outstanding_map.update({0: 5, 1: 2, 2: 7})
+    for rid, count in {0: 5, 1: 2, 2: 7}.items():
+        view.set_outstanding(rid, count)
     assert lc.dispatch(view.workload_spec.type("Read")) == 1
 
 
@@ -82,7 +96,7 @@ def test_lard_spills_when_server_overloaded():
     lard.attach(view)
     t = view.workload_spec.type("Read")
     first = lard.dispatch(t)
-    view.outstanding_map[first] = 10          # overload the affinity server
+    view.set_outstanding(first, 10)            # overload the affinity server
     second = lard.dispatch(t)
     assert second != first
     assert set(lard.server_sets()["Read"]) == {first, second}
@@ -95,7 +109,7 @@ def test_lard_stops_expanding_when_all_replicas_busy():
     t = view.workload_spec.type("Read")
     first = lard.dispatch(t)
     for rid in view.replica_ids():
-        view.outstanding_map[rid] = 10
+        view.set_outstanding(rid, 10)
     assert lard.dispatch(t) == first          # "turns off" instead of spilling
 
 
@@ -105,10 +119,10 @@ def test_lard_shrinks_idle_server_sets():
     lard.attach(view)
     t = view.workload_spec.type("Read")
     first = lard.dispatch(t)
-    view.outstanding_map[first] = 5
+    view.set_outstanding(first, 5)
     lard.dispatch(t)
     assert len(lard.server_sets()["Read"]) == 2
-    view.outstanding_map = {rid: 0 for rid in view.replica_ids()}
+    view.reset_outstanding()
     lard.periodic(now=100.0)
     assert len(lard.server_sets()["Read"]) == 1
 
@@ -123,6 +137,6 @@ def test_different_types_can_use_different_replicas():
     lard = LardBalancer()
     lard.attach(view)
     read_replica = lard.dispatch(view.workload_spec.type("Read"))
-    view.outstanding_map[read_replica] += 1
+    view.set_outstanding(read_replica, view.outstanding(read_replica) + 1)
     scan_replica = lard.dispatch(view.workload_spec.type("Scan"))
     assert scan_replica != read_replica

@@ -99,7 +99,7 @@ def test_queue_pressure_raises_the_signal_when_utilisation_saturates():
     set_load(cluster, 0.2)
     assert autoscaler.load_signal() == pytest.approx(0.2)
     for rid in cluster.replica_ids():
-        cluster._outstanding[rid] = 8          # deep queues, low utilisation
+        cluster.routing.outstanding[rid] = 8          # deep queues, low utilisation
     assert autoscaler.load_signal() == pytest.approx(2.0)
 
 

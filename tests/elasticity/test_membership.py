@@ -114,7 +114,7 @@ def test_graceful_leave_drains_before_retiring():
     assert len(retired) == 1 and retired[0].replica_id == 2
     # Drained, not crashed: the replica never lost a transaction.
     assert cluster.membership.retired[2].crashes == 0
-    assert cluster._outstanding.get(2, 0) == 0
+    assert cluster.routing.outstanding.get(2, 0) == 0
 
 
 def test_cannot_crash_or_remove_the_last_replica():
