@@ -29,6 +29,12 @@ Scenarios:
   and no engine or event loop in the way.  Isolates the balancer dispatch
   path (``choose_replica`` + the RoutingTable accounting) that fig6 profiles
   showed dominating after PR 3.
+* ``commit-fanout`` -- notification-path benchmark: a 48-replica cluster
+  (16 quick) under the update-heavy TPC-W ordering mix, where every
+  certification batch used to scan all replicas for lag-notification
+  candidates.  With the certifier's lag-subscription index the per-batch
+  cost is O(notified), so events/sec here should stay roughly flat as the
+  replica count grows instead of degrading linearly.
 """
 
 from __future__ import annotations
@@ -270,11 +276,40 @@ def _dispatch_micro(quick: bool) -> ScenarioTiming:
     )
 
 
+def _commit_fanout(quick: bool) -> ScenarioTiming:
+    from repro.core.baselines import LeastConnectionsBalancer
+    from repro.replication.cluster import ClusterConfig, ReplicatedCluster
+    from repro.storage.pages import mb
+    from repro.workloads.tpcw import DATABASE_SIZES, make_tpcw
+
+    replicas = 16 if quick else 48
+    duration_s = 40.0 if quick else 120.0
+    spec = make_tpcw(DATABASE_SIZES["MidDB"])
+    config = ClusterConfig(
+        num_replicas=replicas,
+        replica_ram_bytes=mb(512),
+        clients_per_replica=8,
+        think_time_s=0.5,
+        seed=5,
+    )
+    cluster = ReplicatedCluster(workload=spec,
+                                balancer=LeastConnectionsBalancer(),
+                                config=config, mix="ordering")
+    timing = time_cluster("commit-fanout", cluster,
+                          duration_s=duration_s, warmup_s=10.0)
+    stats = cluster.certifier.stats
+    timing.extra["replicas"] = float(replicas)
+    timing.extra["certified_commits"] = float(stats.commits)
+    timing.extra["notifications_sent"] = float(stats.notifications_sent)
+    return timing
+
+
 SCENARIOS: Dict[str, Callable[[bool], ScenarioTiming]] = {
     "midsize-malb": _midsize,
     "fig6-dynamic": _fig6_dynamic,
     "flash-crowd": _flash_crowd,
     "certifier-micro": _certifier_micro,
     "certifier-batch": _certifier_batch,
+    "commit-fanout": _commit_fanout,
     "dispatch-micro": _dispatch_micro,
 }

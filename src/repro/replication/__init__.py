@@ -1,6 +1,7 @@
 """Tashkent replication substrate: writesets, certifier, proxies, replicas, cluster."""
 
-from repro.replication.certifier import CertificationResult, Certifier, CertifierStats
+from repro.replication.certifier import (CertificationResult, Certifier,
+                                         CertifierStats, LagSubscriptionIndex)
 from repro.replication.cluster import (
     ClusterConfig,
     DEFAULT_MEMORY_OVERHEAD_BYTES,
@@ -25,6 +26,7 @@ __all__ = [
     "CertifierStats",
     "ClusterConfig",
     "DEFAULT_MEMORY_OVERHEAD_BYTES",
+    "LagSubscriptionIndex",
     "ProxyConfig",
     "Replica",
     "ReplicaProxy",

@@ -25,6 +25,7 @@ certification O(log length) per request and dominated paper-scale runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.replication.writeset import CertifiedWriteSet, WriteSet
@@ -55,6 +56,85 @@ class CertifierStats:
         return self.aborts / self.requests
 
 
+class LagSubscriptionIndex:
+    """Replica lag cursors bucketed by the version at which they need a nudge.
+
+    The paper's propagation scheme sends a lag notification when a replica
+    falls ``lag_notification_threshold`` versions behind the certifier
+    (Section 4.2).  The naive implementation re-derived that per commit
+    batch by scanning *every* live replica's applied cursor -- O(replicas)
+    work on the commit path.  This index inverts the check: each proxy
+    registers its applied-version cursor, which maps to the version at
+    which the replica will cross the threshold (``applied + threshold``,
+    the *notify-at* version).  Those notify-at versions live in a min-heap,
+    so a commit batch pops exactly the replicas whose threshold the new
+    ``current_version`` crossed -- O(notified log subscribers), and O(1)
+    when nobody crossed, independent of cluster size.
+
+    Heap entries are invalidated lazily: every cursor advance pushes a
+    fresh ``(notify_at, replica_id)`` pair and records it as the armed one;
+    stale pairs are discarded when popped (their notify-at version is at
+    most ``armed + threshold``, so the advancing ``current_version`` always
+    drains them).  A popped replica is *disarmed* until its cursor next
+    advances -- exactly the cluster's one-notification-in-flight dedup:
+    the pull a notification triggers always advances the cursor, which
+    re-arms the subscription at the new lag target.
+    """
+
+    __slots__ = ("threshold", "_armed", "_heap")
+
+    #: armed-state sentinel: subscribed, but waiting for a cursor advance
+    #: before the replica can cross the threshold again.
+    _DISARMED = -1
+
+    def __init__(self, threshold: int) -> None:
+        if threshold <= 0:
+            raise ValueError("lag notification threshold must be positive")
+        self.threshold = threshold
+        # replica id -> armed notify-at version (_DISARMED after a pop).
+        self._armed: Dict[int, int] = {}
+        self._heap: List[Tuple[int, int]] = []
+
+    def subscribe(self, replica_id: int, applied_version: int) -> None:
+        """Register (or re-register) a replica's propagation cursor."""
+        notify_at = applied_version + self.threshold
+        self._armed[replica_id] = notify_at
+        heappush(self._heap, (notify_at, replica_id))
+
+    def unsubscribe(self, replica_id: int) -> None:
+        """Drop a replica that left service (its heap entries decay lazily)."""
+        self._armed.pop(replica_id, None)
+
+    def advanced(self, replica_id: int, applied_version: int) -> None:
+        """The replica's cursor moved: re-arm it at the new lag target."""
+        armed = self._armed
+        if replica_id in armed:
+            notify_at = applied_version + self.threshold
+            armed[replica_id] = notify_at
+            heappush(self._heap, (notify_at, replica_id))
+
+    def subscribed(self, replica_id: int) -> bool:
+        return replica_id in self._armed
+
+    def crossed(self, current_version: int) -> Tuple[int, ...]:
+        """Pop the replicas whose lag crossed the threshold, ascending by
+        notify-at version then replica id (deterministic regardless of the
+        order cursors advanced in).  The common no-crosser case is a single
+        heap-top comparison."""
+        heap = self._heap
+        if not heap or heap[0][0] > current_version:
+            return ()
+        armed = self._armed
+        out = []
+        disarmed = self._DISARMED
+        while heap and heap[0][0] <= current_version:
+            notify_at, replica_id = heappop(heap)
+            if armed.get(replica_id) == notify_at:
+                armed[replica_id] = disarmed
+                out.append(replica_id)
+        return tuple(out)
+
+
 class Certifier:
     """Certifies writesets, orders commits and retains the writeset log."""
 
@@ -64,6 +144,11 @@ class Certifier:
             raise ValueError("lag notification threshold must be positive")
         self.lag_notification_threshold = lag_notification_threshold
         self.max_log_entries = max_log_entries
+        #: Lag subscriptions of the live replicas (the cluster registers the
+        #: proxies' applied-version cursors here); a commit batch asks
+        #: :meth:`LagSubscriptionIndex.crossed` for the replicas to notify
+        #: instead of scanning every replica through :meth:`should_notify`.
+        self.subscriptions = LagSubscriptionIndex(lag_notification_threshold)
         self.log: List[CertifiedWriteSet] = []
         self._log_offset = 0          # version of the first retained entry minus one
         #: Version of the most recently committed writeset (0 if none).
@@ -188,7 +273,14 @@ class Certifier:
         return self.log[start:]
 
     def should_notify(self, replica_applied_version: int) -> bool:
-        """Whether a lag notification should be sent to a replica that is behind."""
+        """Whether a lag notification should be sent to a replica that is behind.
+
+        Legacy per-replica probe (bumps ``notifications_sent`` as a side
+        effect).  The cluster's commit path no longer calls this -- it asks
+        :attr:`subscriptions` for the replicas that crossed the threshold,
+        which is O(notified) instead of O(replicas) per commit batch -- but
+        the predicate is kept as the reference definition of "behind enough
+        to nudge" and for direct use by tests and tools."""
         behind = self.current_version - replica_applied_version
         if behind >= self.lag_notification_threshold:
             self.stats.notifications_sent += 1

@@ -278,18 +278,25 @@ class ReplicatedCluster:
         self.routing.add_replica(replica_id)
         self._inflight.setdefault(replica_id, {})
         self.monitor.register(replica_id, replica.resources)
+        # Register the propagation cursor with the certifier's lag index so
+        # commit batches can find this replica when it falls behind; every
+        # subsequent proxy.advance re-arms the entry.
+        self.certifier.subscriptions.subscribe(replica_id,
+                                               replica.proxy.applied_version)
         if self._started:
             self._schedule_pulls(replica)
 
     def _deactivate_replica(self, replica_id: int) -> Replica:
         """Take a replica out of service (crash or graceful leave).
 
-        It disappears from the balancer's view and the monitor; outstanding
-        counters are kept so draining and crash-failing stay accountable.
+        It disappears from the balancer's view, the monitor and the
+        certifier's lag-subscription index; outstanding counters are kept so
+        draining and crash-failing stay accountable.
         """
         replica = self.replicas.pop(replica_id)
         self.routing.remove_replica(replica_id)
         self.monitor.unregister(replica_id)
+        self.certifier.subscriptions.unsubscribe(replica_id)
         return replica
 
     def _schedule_pulls(self, replica: Replica) -> None:
@@ -416,25 +423,42 @@ class ReplicatedCluster:
         propagation interval), mirroring the prototype's 500 ms pull plus
         lag-notification scheme.  A lag notification is a certifier-to-proxy
         message, so the pull it triggers pays the one-way notification
-        latency instead of happening instantaneously at commit time.  At
-        most one notification per replica is in flight: further commits
-        before it lands would only tell the proxy what it is already about
-        to learn."""
+        latency instead of happening instantaneously at commit time --
+        ``notification_latency_s == 0`` still goes through the event queue
+        (a zero-delay defer), never through a synchronous pull inside the
+        origin's commit processing.  At most one notification per replica is
+        in flight: further commits before it lands would only tell the proxy
+        what it is already about to learn.
+
+        The replicas to notify come from the certifier's lag-subscription
+        index: each proxy's cursor is bucketed by the version at which it
+        crosses the notification threshold, so this costs O(notified), not
+        O(replicas), per certification batch."""
+        certifier = self.certifier
+        crossed = certifier.subscriptions.crossed(certifier.current_version)
+        if not crossed:
+            return
         latency = self.config.proxy.notification_latency_s
         origin_id = origin.replica_id
         pending = self._notify_pending
-        for replica in self.replicas.values():
-            replica_id = replica.replica_id
+        replicas = self.replicas
+        stats = certifier.stats
+        sim = self.sim
+        for replica_id in crossed:
             if replica_id == origin_id or replica_id in pending:
+                # The origin applies this batch's piggyback right after the
+                # hook returns, and an in-flight notification's pull always
+                # catches the replica up: either way the cursor advance
+                # re-arms the subscription at the fresh lag target.
                 continue
-            if self.certifier.should_notify(replica.proxy.applied_version):
-                if latency > 0:
-                    pending.add(replica_id)
-                    # pull_updates checks liveness when the message lands, so
-                    # a replica that crashes in between simply drops it.
-                    self.sim.defer(latency, _Notification(pending, replica))
-                else:
-                    replica.pull_updates()
+            replica = replicas.get(replica_id)
+            if replica is None:
+                continue
+            stats.notifications_sent += 1
+            pending.add(replica_id)
+            # pull_updates checks liveness when the message lands, so a
+            # replica that crashes in between simply drops it.
+            sim.defer(latency, _Notification(pending, replica))
 
     def _install_filters(self) -> None:
         """Push the balancer's current update-filtering decision to the proxies."""

@@ -22,7 +22,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Optional, Set
+from typing import TYPE_CHECKING, Deque, Optional, Set
+
+if TYPE_CHECKING:
+    from repro.replication.certifier import LagSubscriptionIndex
 
 
 @dataclass
@@ -67,56 +70,76 @@ class ProxyConfig:
 
 
 class AdmissionController:
-    """Gatekeeper-style admission control: bounded in-database concurrency."""
+    """Gatekeeper-style admission control: bounded in-database concurrency.
 
-    __slots__ = ("max_concurrency", "active", "_waiting", "admitted_total",
-                 "queued_total")
+    The handoff is allocation-free: callers queue slotted *tasks* (anything
+    with a no-argument ``start()`` method -- in practice the replica's
+    ``TransactionContext``) rather than bound callables, so neither
+    admission nor the release->admit handoff allocates.  ``queued`` is a
+    maintained plain attribute, readable per dispatch (e.g. as a queueing
+    pressure signal next to the routing table's outstanding counters)
+    without touching the deque.
+    """
+
+    __slots__ = ("max_concurrency", "active", "queued", "_waiting",
+                 "admitted_total", "queued_total")
 
     def __init__(self, max_concurrency: int) -> None:
         if max_concurrency <= 0:
             raise ValueError("max_concurrency must be positive")
         self.max_concurrency = max_concurrency
         self.active = 0
-        self._waiting: Deque[Callable[[], None]] = deque()
+        self.queued = 0
+        self._waiting: Deque = deque()
         self.admitted_total = 0
         self.queued_total = 0
 
-    def admit(self, start: Callable[[], None]) -> None:
-        """Run ``start`` now if a slot is free, otherwise queue it (FIFO)."""
+    def admit(self, task) -> None:
+        """Start ``task`` now if a slot is free, otherwise queue it (FIFO)."""
         if self.active < self.max_concurrency:
             self.active += 1
             self.admitted_total += 1
-            start()
+            task.start()
         else:
             self.queued_total += 1
-            self._waiting.append(start)
+            self.queued += 1
+            self._waiting.append(task)
 
     def release(self) -> None:
-        """A transaction finished: free its slot and admit the next waiter."""
+        """A transaction finished: free its slot and admit the next waiter.
+
+        The release->admit handoff is inlined: when somebody is waiting the
+        slot is passed straight to the head of the queue (``active`` never
+        dips and re-climbs), which is both cheaper and preserves the
+        invariant that the queue is non-empty only while every slot is
+        taken.
+        """
         if self.active <= 0:
             raise RuntimeError("release() without a matching admit()")
-        self.active -= 1
-        if self._waiting and self.active < self.max_concurrency:
-            start = self._waiting.popleft()
-            self.active += 1
+        if self.queued:
+            self.queued -= 1
             self.admitted_total += 1
-            start()
-
-    @property
-    def queued(self) -> int:
-        return len(self._waiting)
+            self._waiting.popleft().start()
+        else:
+            self.active -= 1
 
 
 class ReplicaProxy:
     """Per-replica middleware state: admission, filtering, propagation cursor."""
 
     __slots__ = ("replica_id", "config", "admission", "filter_tables",
-                 "applied_version", "writesets_applied", "writesets_filtered")
+                 "applied_version", "writesets_applied", "writesets_filtered",
+                 "lag_index")
 
     def __init__(self, replica_id: int, config: Optional[ProxyConfig] = None) -> None:
         self.replica_id = replica_id
         self.config = config or ProxyConfig()
         self.admission = AdmissionController(self.config.max_concurrency)
+        #: The certifier's lag-subscription index (installed by the replica):
+        #: every cursor advance re-arms this proxy's notify-at version there,
+        #: so commit batches find lagging replicas without scanning.  None
+        #: for a standalone proxy outside a cluster.
+        self.lag_index: Optional["LagSubscriptionIndex"] = None
         # Update filtering: the single source of truth for which tables'
         # writesets reach the database.  None means apply everything; a set
         # means apply only those tables.  The predicate is evaluated per
@@ -141,6 +164,9 @@ class ReplicaProxy:
     def advance(self, version: int) -> None:
         if version > self.applied_version:
             self.applied_version = version
+            index = self.lag_index
+            if index is not None:
+                index.advanced(self.replica_id, version)
 
     @property
     def filtering_enabled(self) -> bool:

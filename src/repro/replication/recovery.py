@@ -23,7 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from repro.replication.certifier import CertificationResult, Certifier, CertifierStats
+from repro.replication.certifier import (CertificationResult, Certifier,
+                                         CertifierStats, LagSubscriptionIndex)
 from repro.replication.replica import Replica
 from repro.replication.writeset import CertifiedWriteSet, WriteSet
 
@@ -40,6 +41,19 @@ class ReplicatedCertifierLog:
 
     leader: Certifier
     backups: List[Certifier] = field(default_factory=list)
+    #: Lag subscriptions live on the replicated service, not on the leader:
+    #: a fail-over must not forget which replicas are registered (the new
+    #: leader's own index was never populated).  Created in __post_init__.
+    subscriptions: Optional[LagSubscriptionIndex] = None
+
+    def __post_init__(self) -> None:
+        if self.subscriptions is None:
+            self.subscriptions = LagSubscriptionIndex(
+                self.leader.lag_notification_threshold)
+
+    @property
+    def lag_notification_threshold(self) -> int:
+        return self.leader.lag_notification_threshold
 
     @classmethod
     def create(cls, num_backups: int = 2) -> "ReplicatedCertifierLog":

@@ -133,6 +133,10 @@ class Replica:
         self.certifier = certifier
         self.disk_model = disk_model or DiskModel()
         self.proxy = ReplicaProxy(replica_id, proxy_config)
+        # Every cursor advance re-arms this replica's entry in the
+        # certifier's lag-subscription index, which is how commit batches
+        # find lagging replicas without scanning the cluster.
+        self.proxy.lag_index = getattr(certifier, "subscriptions", None)
         self.max_retries = max_retries
         self.metrics: Optional[MetricsCollector] = None
         # Hook installed by the cluster: called once per certification batch
@@ -164,7 +168,7 @@ class Replica:
         if not self.alive:
             raise RuntimeError("replica %d is not alive" % (self.replica_id,))
         ctx = TransactionContext(self, txn_type, submitted_at, on_done)
-        self.proxy.admission.admit(ctx.start)
+        self.proxy.admission.admit(ctx)
 
     def _start(self, ctx: TransactionContext) -> None:
         """Run (or re-run, on retry) the execution pipeline of ``ctx``."""

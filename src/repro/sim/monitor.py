@@ -32,7 +32,15 @@ class LoadSample:
 
 
 class ReplicaMonitor:
-    """Samples one replica's resources and keeps smoothed utilisations."""
+    """Samples one replica's resources and keeps smoothed utilisations.
+
+    Slotted: one monitor lives per replica for the whole run and its fields
+    are read/written every sampling interval for every replica, so the
+    instances stay small and attribute access cheap at high replica counts.
+    """
+
+    __slots__ = ("resources", "smoothing", "sample", "_last_time",
+                 "_last_cpu_busy", "_last_disk_busy", "samples_taken")
 
     def __init__(self, resources: ReplicaResources, smoothing: float = 0.5) -> None:
         if not 0.0 < smoothing <= 1.0:

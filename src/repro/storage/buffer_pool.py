@@ -29,7 +29,14 @@ Implementation notes: ``access`` is the single hottest function of the whole
 simulator (it runs several times per transaction), so per-relation state
 lives in one ``__slots__`` record reached through a single ``OrderedDict``
 lookup, and the pool keeps a running residency total so neither the
-accessors nor the eviction trigger ever re-sum the relation map.
+accessors nor the eviction trigger ever re-sum the relation map.  Two more
+fast-path facts are maintained incrementally: the most recently used
+relation (so the common access-the-same-relation-again case skips the
+``move_to_end`` re-probe entirely), and the combined hot-set watermark
+(``_hot_total``): while the combined hot sets fit in capacity the pool can
+never overflow -- per-relation residency is capped at the hot watermark --
+so the eviction trigger is short-circuited to one attribute test instead of
+being evaluated per access.
 """
 
 from __future__ import annotations
@@ -91,7 +98,8 @@ class BufferPool:
     """
 
     __slots__ = ("capacity_bytes", "_capacity_f", "skew", "_relations",
-                 "_resident_total", "stats")
+                 "_resident_total", "_hot_total", "_maybe_evict", "_mru",
+                 "stats")
 
     def __init__(self, capacity_bytes: int, skew: float = 0.35) -> None:
         if capacity_bytes <= 0:
@@ -114,6 +122,16 @@ class BufferPool:
         # incrementally so resident_bytes/free_bytes and the eviction
         # trigger are O(1) instead of re-summing the map on every access.
         self._resident_total = 0.0
+        # Combined hot-set watermark (sum of every tracked relation's
+        # hot_max).  Residency per relation is capped at its watermark, so
+        # while this fits in capacity the pool cannot overflow and
+        # _maybe_evict short-circuits the per-access eviction trigger.
+        self._hot_total = 0.0
+        self._maybe_evict = False
+        # Name of the relation currently at the MRU end of the LRU order
+        # (None when unknown).  Lets the hottest pattern -- consecutive
+        # accesses to the same relation -- skip the move_to_end re-probe.
+        self._mru: Optional[str] = None
         self.stats = BufferPoolStats()
 
     # ------------------------------------------------------------------
@@ -177,13 +195,22 @@ class BufferPool:
         relations = self._relations
         state = relations.get(relation)
         if state is None:
-            state = _RelationState(0.0, hot_set_bytes)
-            relations[relation] = state
+            relations[relation] = state = _RelationState(0.0, hot_set_bytes)
+            hot_total = self._hot_total + hot_set_bytes
+            self._hot_total = hot_total
+            self._maybe_evict = hot_total > self._capacity_f
+            self._mru = relation        # inserted at the MRU end
             resident = 0.0
         else:
             resident = state.resident
             if hot_set_bytes > state.hot_max:
+                hot_total = self._hot_total + (hot_set_bytes - state.hot_max)
+                self._hot_total = hot_total
+                self._maybe_evict = hot_total > self._capacity_f
                 state.hot_max = hot_set_bytes
+            if relation != self._mru:
+                relations.move_to_end(relation)
+                self._mru = relation
         # hit fraction = min(1, resident/hot) ** skew, with the exact 0 / 1
         # endpoints short-circuited (x**skew is by far the costliest op here
         # and steady-state accesses to a fully resident hot set are common).
@@ -207,9 +234,8 @@ class BufferPool:
                 new_resident = self._capacity_f
             state.resident = new_resident
             self._resident_total += new_resident - resident
-        relations.move_to_end(relation)
-        if self._resident_total > self.capacity_bytes:
-            self._evict_to_capacity(protect=relation)
+            if self._maybe_evict and self._resident_total > self.capacity_bytes:
+                self._evict_to_capacity(protect=relation)
 
         stats = self.stats
         stats.accesses += 1
@@ -228,20 +254,28 @@ class BufferPool:
         relations = self._relations
         state = relations.get(relation)
         if state is None:
-            state = _RelationState(0.0, relation_bytes)
-            relations[relation] = state
+            relations[relation] = state = _RelationState(0.0, relation_bytes)
+            hot_total = self._hot_total + relation_bytes
+            self._hot_total = hot_total
+            self._maybe_evict = hot_total > self._capacity_f
+            self._mru = relation
             resident = 0.0
         else:
             resident = state.resident
             if relation_bytes > state.hot_max:
+                hot_total = self._hot_total + (relation_bytes - state.hot_max)
+                self._hot_total = hot_total
+                self._maybe_evict = hot_total > self._capacity_f
                 state.hot_max = relation_bytes
+            if relation != self._mru:
+                relations.move_to_end(relation)
+                self._mru = relation
         miss_bytes = max(0.0, relation_bytes - resident)
 
         new_resident = min(relation_bytes, self._capacity_f)
         state.resident = new_resident
         self._resident_total += new_resident - resident
-        relations.move_to_end(relation)
-        if self._resident_total > self.capacity_bytes:
+        if self._maybe_evict and self._resident_total > self.capacity_bytes:
             self._evict_to_capacity(protect=relation)
 
         stats = self.stats
@@ -257,14 +291,24 @@ class BufferPool:
 
         Returns the number of bytes freed.
         """
-        state = self._relations.pop(relation, None)
+        relations = self._relations
+        state = relations.pop(relation, None)
         freed = state.resident if state is not None else 0.0
-        if self._relations:
+        if relations:
             self._resident_total -= freed
+            if state is not None:
+                hot_total = self._hot_total - state.hot_max
+                self._hot_total = hot_total
+                self._maybe_evict = hot_total > self._capacity_f
+            if relation == self._mru:
+                self._mru = None
         else:
-            # Re-anchor the running total whenever the pool empties, so
+            # Re-anchor the running totals whenever the pool empties, so
             # float rounding from incremental updates can never accumulate.
             self._resident_total = 0.0
+            self._hot_total = 0.0
+            self._maybe_evict = False
+            self._mru = None
         return freed
 
     def warm(self, relation: str, resident_bytes: float, hot_set_bytes: Optional[float] = None) -> None:
@@ -275,24 +319,35 @@ class BufferPool:
         relations = self._relations
         state = relations.get(relation)
         if state is None:
-            state = _RelationState(0.0, hot)
-            relations[relation] = state
+            relations[relation] = state = _RelationState(0.0, hot)
+            hot_total = self._hot_total + hot
+            self._hot_total = hot_total
+            self._maybe_evict = hot_total > self._capacity_f
+            self._mru = relation
             previous = 0.0
         else:
             previous = state.resident
             if hot > state.hot_max:
+                hot_total = self._hot_total + (hot - state.hot_max)
+                self._hot_total = hot_total
+                self._maybe_evict = hot_total > self._capacity_f
                 state.hot_max = hot
+            if relation != self._mru:
+                relations.move_to_end(relation)
+                self._mru = relation
         new_resident = min(float(resident_bytes), hot, self._capacity_f)
         state.resident = new_resident
         self._resident_total += new_resident - previous
-        relations.move_to_end(relation)
-        if self._resident_total > self.capacity_bytes:
+        if self._maybe_evict and self._resident_total > self.capacity_bytes:
             self._evict_to_capacity(protect=relation)
 
     def clear(self) -> None:
         """Empty the pool (cold restart of a replica)."""
         self._relations.clear()
         self._resident_total = 0.0
+        self._hot_total = 0.0
+        self._maybe_evict = False
+        self._mru = None
 
     # ------------------------------------------------------------------
     # Eviction
@@ -329,15 +384,35 @@ class BufferPool:
                     emptied = [name]
                 else:
                     emptied.append(name)
-        if emptied is not None:
-            for name in emptied:
-                del relations[name]
         if excess > 0 and protect is not None:
             state = relations.get(protect)
             if state is not None:
                 # The protected relation alone overflows the pool: cap it.
                 resident = state.resident
                 evicted = resident if resident < excess else excess
-                state.resident = resident - evicted
+                remaining = resident - evicted
+                state.resident = remaining
                 self._resident_total -= evicted
                 stats.evicted_bytes += evicted
+                if remaining <= 0:
+                    # Fully evicted: drop the state like every other
+                    # relation (the _RelationState drop-on-empty contract),
+                    # instead of leaving a resident == 0 entry behind in
+                    # the LRU map and tracked_relations().
+                    if emptied is None:
+                        emptied = [protect]
+                    else:
+                        emptied.append(protect)
+                    if self._mru == protect:
+                        self._mru = None
+        if emptied is not None:
+            hot_total = self._hot_total
+            for name in emptied:
+                hot_total -= relations.pop(name).hot_max
+            if not relations:
+                # Re-anchor the running totals on a fully emptied pool so
+                # incremental float rounding cannot accumulate.
+                self._resident_total = 0.0
+                hot_total = 0.0
+            self._hot_total = hot_total
+            self._maybe_evict = hot_total > self._capacity_f

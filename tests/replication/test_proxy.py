@@ -5,11 +5,25 @@ import pytest
 from repro.replication.proxy import AdmissionController, ProxyConfig, ReplicaProxy
 
 
+class _Task:
+    """Minimal admission task: anything with a start() method qualifies
+    (the replica queues its slotted TransactionContexts)."""
+
+    __slots__ = ("log", "label")
+
+    def __init__(self, log, label):
+        self.log = log
+        self.label = label
+
+    def start(self):
+        self.log.append(self.label)
+
+
 def test_admission_limits_concurrency():
     started = []
     ac = AdmissionController(max_concurrency=2)
     for i in range(4):
-        ac.admit(lambda i=i: started.append(i))
+        ac.admit(_Task(started, i))
     assert started == [0, 1]
     assert ac.queued == 2
     ac.release()
@@ -17,6 +31,12 @@ def test_admission_limits_concurrency():
     ac.release()
     ac.release()
     assert started == [0, 1, 2, 3]
+    assert ac.queued == 0
+    # Two of the three releases handed their slot straight to a waiter;
+    # the last one (empty queue) actually freed a slot.
+    assert ac.active == 1
+    assert ac.admitted_total == 4
+    assert ac.queued_total == 2
 
 
 def test_release_without_admit_raises():

@@ -1,5 +1,7 @@
 """Unit and property tests for the fractional-LRU buffer pool."""
 
+import random
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -111,3 +113,76 @@ def test_miss_never_exceeds_request(need_mb, hot_mb):
     need = mb(min(need_mb, hot_mb))
     miss = pool.access("r", need, mb(hot_mb))
     assert 0.0 <= miss <= need + 1
+
+
+def test_fully_evicted_protected_relation_is_dropped():
+    """Regression: when the protected relation alone overflows the pool and
+    the eviction has to take *all* of its bytes, its state must be dropped
+    like every other fully-evicted relation (the _RelationState
+    drop-on-empty contract behind tracked_relations()), not left behind
+    with resident == 0."""
+    pool = BufferPool(100)
+    pool.warm("a", 100)
+    # Emulate the accumulated incremental-rounding drift that is the only
+    # way the running total can exceed capacity by more than the protected
+    # relation holds; the final eviction branch must then empty "a".
+    pool._resident_total = 220.0
+    pool._evict_to_capacity(protect="a")
+    assert "a" not in pool.tracked_relations()
+    assert pool.resident_bytes_of("a") == 0.0
+    # The pool emptied, so the running totals re-anchor exactly.
+    assert pool._resident_total == 0.0
+    assert pool._hot_total == 0.0
+    # The relation is re-trackable afterwards like any cold relation.
+    pool.access("a", 10, 50)
+    assert "a" in pool.tracked_relations()
+
+
+def test_partially_evicted_protected_relation_is_kept():
+    pool = BufferPool(100)
+    pool.warm("a", 100)
+    pool._resident_total = 150.0
+    pool._evict_to_capacity(protect="a")
+    assert "a" in pool.tracked_relations()
+    assert pool.resident_bytes_of("a") == pytest.approx(50.0)
+
+
+def test_resident_total_matches_sum_after_randomized_sequences():
+    """Property-style: the incrementally maintained running totals equal
+    the per-relation sums after arbitrary access / scan / warm /
+    invalidate / eviction sequences (the totals only re-anchor when the
+    pool empties)."""
+    rng = random.Random(20260730)
+    names = ["a", "b", "c", "d", "e", "f"]
+    pool = BufferPool(mb(48))
+    for step in range(4000):
+        op = rng.random()
+        relation = rng.choice(names)
+        if op < 0.50:
+            hot = mb(rng.randint(1, 40))
+            pool.access(relation, rng.uniform(0.0, hot), hot)
+        elif op < 0.70:
+            pool.scan(relation, mb(rng.randint(1, 60)))
+        elif op < 0.85:
+            pool.warm(relation, mb(rng.randint(0, 30)), mb(rng.randint(1, 40)))
+        elif op < 0.97:
+            pool.invalidate(relation)
+        else:
+            pool.clear()
+
+        states = pool._relations
+        assert pool._resident_total == pytest.approx(
+            sum(s.resident for s in states.values()), rel=1e-9, abs=1e-3)
+        assert pool._hot_total == pytest.approx(
+            sum(s.hot_max for s in states.values()), rel=1e-9, abs=1e-3)
+        assert pool.resident_bytes <= pool.capacity_bytes + 1.0
+        # The MRU hint, when set, must name the true MRU end of the order.
+        if pool._mru is not None and states:
+            assert next(reversed(states)) == pool._mru
+        # The eviction short-circuit flag tracks the hot watermark exactly.
+        assert pool._maybe_evict == (pool._hot_total > float(pool.capacity_bytes))
+    # Fully emptying the pool re-anchors the totals to exact zero.
+    for relation in names:
+        pool.invalidate(relation)
+    assert pool._resident_total == 0.0
+    assert pool._hot_total == 0.0
