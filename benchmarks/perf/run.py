@@ -39,6 +39,14 @@ def main(argv=None) -> int:
     parser.add_argument("--min-events-per-sec", type=float, default=None,
                         help="fail (exit 1) if any timed scenario falls below "
                              "this events/sec floor")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="attach the tracer to each cluster scenario and "
+                             "write Chrome trace-event JSON (perfetto) here; "
+                             "with several scenarios the scenario name is "
+                             "suffixed onto the file name")
+    parser.add_argument("--telemetry-json", default=None, metavar="PATH",
+                        help="attach the telemetry registry (5 s snapshots) "
+                             "and write its JSON export here")
     args = parser.parse_args(argv)
 
     wanted = args.scenario or ["all"]
@@ -52,12 +60,35 @@ def main(argv=None) -> int:
                              % (name, ", ".join(sorted(SCENARIOS))))
             names.append(name)
 
+    observing = args.trace is not None or args.telemetry_json is not None
+
     timings: dict = {}
     for name in names:
         print("running %s%s ..." % (name, " (quick)" if args.quick else ""),
               flush=True)
-        timing: ScenarioTiming = SCENARIOS[name](args.quick)
+        hub = None
+        if observing:
+            from repro.obs import ObservabilityHub
+            hub = ObservabilityHub.create(
+                tracing=args.trace is not None,
+                telemetry=args.telemetry_json is not None,
+                snapshot_interval_s=5.0 if args.telemetry_json else None,
+            )
+        timing: ScenarioTiming = (SCENARIOS[name](args.quick, hub)
+                                  if hub is not None
+                                  else SCENARIOS[name](args.quick))
         timings[name] = timing
+        if hub is not None:
+            suffix = "" if len(names) == 1 else "." + name
+            if args.trace and hub.tracer is not None:
+                path = _suffixed(args.trace, suffix)
+                hub.export_trace(path)
+                print("  trace written to %s (%d events)"
+                      % (path, hub.tracer.event_count), flush=True)
+            if args.telemetry_json and hub.registry is not None:
+                path = _suffixed(args.telemetry_json, suffix)
+                hub.export_telemetry(path)
+                print("  telemetry written to %s" % path, flush=True)
         print("  %.2f s wall, %d events (%.0f events/s), %d txns, %.1f tps"
               % (timing.wall_seconds, timing.events_processed,
                  timing.events_per_second, timing.transactions_completed,
@@ -81,6 +112,14 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             return 1
     return 0
+
+
+def _suffixed(path: str, suffix: str) -> str:
+    if not suffix:
+        return path
+    if path.endswith(".json"):
+        return path[:-len(".json")] + suffix + ".json"
+    return path + suffix
 
 
 if __name__ == "__main__":

@@ -1,8 +1,11 @@
 """Perf-harness scenarios: representative paper-scale workloads, timed.
 
-Each scenario is a callable ``(quick: bool) -> ScenarioTiming``.  ``quick``
-shrinks the scenario for the CI smoke job; the committed ``BENCH_*.json``
-trajectories are produced with ``quick=False``.
+Each scenario is a callable ``(quick: bool, obs=None) -> ScenarioTiming``.
+``quick`` shrinks the scenario for the CI smoke job; the committed
+``BENCH_*.json`` trajectories are produced with ``quick=False``.  ``obs``
+is an optional :class:`repro.obs.ObservabilityHub` attached to the
+scenario's cluster (microbenchmarks with no cluster accept and ignore it),
+so ``run.py --trace`` can capture any scenario.
 
 Scenarios:
 
@@ -35,6 +38,10 @@ Scenarios:
   candidates.  With the certifier's lag-subscription index the per-batch
   cost is O(notified), so events/sec here should stay roughly flat as the
   replica count grows instead of degrading linearly.
+* ``obs-overhead`` -- A/B measurement of the observability layer: the
+  fig6-dynamic scenario bare versus with a full ObservabilityHub (tracing,
+  telemetry, periodic snapshots) attached; the enabled-mode slowdown is
+  reported under ``extra``.
 """
 
 from __future__ import annotations
@@ -46,7 +53,7 @@ from typing import Callable, Dict
 from benchmarks.perf.harness import ScenarioTiming, time_cluster
 
 
-def _midsize(quick: bool) -> ScenarioTiming:
+def _midsize(quick: bool, obs=None) -> ScenarioTiming:
     from dataclasses import replace
     from repro.experiments.configs import golden_midsize_config
     from repro.experiments.runner import build_cluster
@@ -54,24 +61,28 @@ def _midsize(quick: bool) -> ScenarioTiming:
     if quick:
         config = replace(config, duration_s=60.0, warmup_s=15.0)
     cluster = build_cluster(config)
+    if obs is not None:
+        obs.attach(cluster)
     return time_cluster("midsize-malb", cluster,
                         duration_s=config.duration_s, warmup_s=config.warmup_s)
 
 
-def _fig6_dynamic(quick: bool) -> ScenarioTiming:
+def _fig6_dynamic(quick: bool, obs=None) -> ScenarioTiming:
     from repro.experiments.configs import figure6_configs
     from repro.experiments.runner import build_cluster
     dynamic = figure6_configs(phase_length_s=120.0 if quick else 400.0)[0]
     cluster = build_cluster(dynamic)
+    if obs is not None:
+        obs.attach(cluster)
     return time_cluster("fig6-dynamic", cluster,
                         duration_s=dynamic.duration_s, warmup_s=dynamic.warmup_s)
 
 
-def _flash_crowd(quick: bool) -> ScenarioTiming:
+def _flash_crowd(quick: bool, obs=None) -> ScenarioTiming:
     from repro.experiments.elasticity import flash_crowd_scenario, run_elastic_experiment
     scenario = flash_crowd_scenario(autoscale=True, with_faults=not quick)
     start = time.perf_counter()
-    result = run_elastic_experiment(scenario)
+    result = run_elastic_experiment(scenario, observability=obs)
     wall = time.perf_counter() - start
     return ScenarioTiming(
         name="flash-crowd",
@@ -88,7 +99,7 @@ def _flash_crowd(quick: bool) -> ScenarioTiming:
     )
 
 
-def _certifier_micro(quick: bool) -> ScenarioTiming:
+def _certifier_micro(quick: bool, obs=None) -> ScenarioTiming:
     from repro.replication.certifier import Certifier
     from repro.storage.engine import WriteItem, WriteSet
 
@@ -129,7 +140,7 @@ def _certifier_micro(quick: bool) -> ScenarioTiming:
     )
 
 
-def _certifier_batch(quick: bool) -> ScenarioTiming:
+def _certifier_batch(quick: bool, obs=None) -> ScenarioTiming:
     from repro.replication.certifier import Certifier
     from repro.storage.engine import WriteItem, WriteSet
 
@@ -182,7 +193,7 @@ def _certifier_batch(quick: bool) -> ScenarioTiming:
     )
 
 
-def _dispatch_micro(quick: bool) -> ScenarioTiming:
+def _dispatch_micro(quick: bool, obs=None) -> ScenarioTiming:
     from collections import deque
 
     from repro.core.grouping import GroupingMethod
@@ -276,7 +287,7 @@ def _dispatch_micro(quick: bool) -> ScenarioTiming:
     )
 
 
-def _commit_fanout(quick: bool) -> ScenarioTiming:
+def _commit_fanout(quick: bool, obs=None) -> ScenarioTiming:
     from repro.core.baselines import LeastConnectionsBalancer
     from repro.replication.cluster import ClusterConfig, ReplicatedCluster
     from repro.storage.pages import mb
@@ -295,6 +306,8 @@ def _commit_fanout(quick: bool) -> ScenarioTiming:
     cluster = ReplicatedCluster(workload=spec,
                                 balancer=LeastConnectionsBalancer(),
                                 config=config, mix="ordering")
+    if obs is not None:
+        obs.attach(cluster)
     timing = time_cluster("commit-fanout", cluster,
                           duration_s=duration_s, warmup_s=10.0)
     stats = cluster.certifier.stats
@@ -304,7 +317,50 @@ def _commit_fanout(quick: bool) -> ScenarioTiming:
     return timing
 
 
-SCENARIOS: Dict[str, Callable[[bool], ScenarioTiming]] = {
+def _obs_overhead(quick: bool, obs=None) -> ScenarioTiming:
+    """A/B measurement of the tracing overhead (the PR 6 acceptance number).
+
+    Runs the fig6-dynamic scenario twice -- once bare, once with a full
+    ObservabilityHub (tracing + telemetry + periodic snapshots) attached --
+    and reports the enabled-mode slowdown.  The returned headline numbers
+    (events, wall) are the *baseline* run's, so the smoke floor keeps
+    guarding the disabled path; the traced run's numbers go under
+    ``extra``.  ``obs`` is ignored: this scenario builds its own hubs.
+    """
+    from repro.experiments.configs import figure6_configs
+    from repro.experiments.runner import build_cluster
+    from repro.obs import ObservabilityHub
+
+    dynamic = figure6_configs(phase_length_s=120.0 if quick else 400.0)[0]
+
+    baseline = build_cluster(dynamic)
+    timing = time_cluster("obs-overhead", baseline,
+                          duration_s=dynamic.duration_s,
+                          warmup_s=dynamic.warmup_s)
+
+    traced_cluster = build_cluster(dynamic)
+    hub = ObservabilityHub.full(snapshot_interval_s=5.0)
+    hub.attach(traced_cluster)
+    traced = time_cluster("obs-overhead-traced", traced_cluster,
+                          duration_s=dynamic.duration_s,
+                          warmup_s=dynamic.warmup_s)
+
+    base_eps = timing.events_per_second
+    traced_eps = traced.events_per_second
+    timing.extra.update({
+        "baseline_events_per_second": round(base_eps, 1),
+        "traced_events_per_second": round(traced_eps, 1),
+        "traced_wall_seconds": traced.wall_seconds,
+        "overhead_pct": (100.0 * (base_eps / traced_eps - 1.0)
+                         if traced_eps > 0 else 0.0),
+        "trace_events": float(hub.tracer.event_count),
+        "telemetry_snapshots": float(len(hub.registry.snapshots)),
+        "stage_reconcile_error": hub.tracer.stages.reconcile_error(),
+    })
+    return timing
+
+
+SCENARIOS: Dict[str, Callable[..., ScenarioTiming]] = {
     "midsize-malb": _midsize,
     "fig6-dynamic": _fig6_dynamic,
     "flash-crowd": _flash_crowd,
@@ -312,4 +368,5 @@ SCENARIOS: Dict[str, Callable[[bool], ScenarioTiming]] = {
     "certifier-batch": _certifier_batch,
     "commit-fanout": _commit_fanout,
     "dispatch-micro": _dispatch_micro,
+    "obs-overhead": _obs_overhead,
 }

@@ -63,7 +63,7 @@ class RoutingTable:
         #: Mutate it only through on_dispatch/on_complete.  Entries survive
         #: removal from the live set: draining and crash accounting still
         #: read them until the last in-flight transaction of a departed
-        #: replica resolves.
+        #: replica resolves, after which purge_replica erases them.
         self.outstanding: Dict[int, int] = {}
         self._live: Tuple[int, ...] = ()
         self._live_set: frozenset = frozenset()
@@ -92,6 +92,23 @@ class RoutingTable:
         self._samples.pop(replica_id, None)
         self._eff_cache.pop(replica_id, None)
         self.version += 1
+
+    def purge_replica(self, replica_id: int) -> None:
+        """Erase every trace of a fully-departed replica.
+
+        ``remove_replica`` keeps the outstanding counter so draining and
+        crash accounting can watch it reach zero; once the departure is
+        resolved (drained, retired, or its in-flight set failed), the
+        membership layer calls this to drop the counter and any load sample
+        a late monitor tick pushed after removal.  Not a routing change --
+        the replica already left the live set -- so the version is not
+        bumped.  Purging a live replica is a bug.
+        """
+        if replica_id in self._live_set:
+            raise ValueError("cannot purge live replica %d" % replica_id)
+        self.outstanding.pop(replica_id, None)
+        self._samples.pop(replica_id, None)
+        self._eff_cache.pop(replica_id, None)
 
     def replica_ids(self) -> Tuple[int, ...]:
         """Live replica ids, ascending.  Cached: rebuilt only on membership

@@ -183,6 +183,9 @@ class Autoscaler:
         decision = ScalingDecision(time=now, action=action, replicas_before=before,
                                    replicas_after=after, utilisation=util, detail=detail)
         self.decisions.append(decision)
+        obs = self.cluster.observability
+        if obs is not None:
+            obs.autoscaler_event(decision)
         self.peak_replicas = max(self.peak_replicas, after)
         self._last_action_time = now
         self._above = 0

@@ -113,6 +113,9 @@ class FaultInjector:
     def _record(self, kind: str, replica_id: int, detail: str) -> None:
         self.records.append(FaultRecord(
             time=self.cluster.sim.now, kind=kind, replica_id=replica_id, detail=detail))
+        obs = self.cluster.observability
+        if obs is not None:
+            obs.fault_event(self.cluster.sim.now, kind, replica_id, detail)
 
     def describe(self) -> str:
         lines = ["fault injector: %d records" % len(self.records)]

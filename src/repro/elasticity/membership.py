@@ -126,7 +126,8 @@ class MembershipManager:
         replica.crash()
         self.crashed[replica_id] = replica
         cluster.notify_membership_changed()
-        failed = cluster._fail_inflight(replica_id)
+        failed = cluster._fail_inflight(replica_id, reason="crash-in-flight")
+        cluster._purge_replica_state(replica_id)
         self._log("crash", replica_id, "failed %d in-flight transactions" % failed)
         return replica
 
@@ -175,7 +176,7 @@ class MembershipManager:
         if not drain or outstanding.get(replica_id, 0) == 0:
             if outstanding.get(replica_id, 0) > 0:
                 replica.crash()
-                cluster._fail_inflight(replica_id)
+                cluster._fail_inflight(replica_id, reason="drain-straggler")
             self._retire(replica, "immediate")
             return
         self._draining[replica_id] = replica
@@ -192,7 +193,8 @@ class MembershipManager:
             elif cluster.sim.now >= deadline:
                 self._draining.pop(replica_id)
                 replica.crash()
-                failed = cluster._fail_inflight(replica_id)
+                failed = cluster._fail_inflight(replica_id,
+                                                reason="drain-straggler")
                 self._retire(replica, "drain deadline, failed %d stragglers" % failed)
             else:
                 cluster.sim.schedule(self.drain_poll_interval_s, poll)
@@ -202,12 +204,18 @@ class MembershipManager:
     def _retire(self, replica: Replica, detail: str) -> None:
         replica.alive = False
         self.retired[replica.replica_id] = replica
+        # A retired replica never returns; erase its routing counter, any
+        # lingering load sample and its (now resolved) in-flight table.
+        self.cluster._purge_replica_state(replica.replica_id)
         self._log("retired", replica.replica_id, detail)
 
     # ------------------------------------------------------------------
     def _log(self, kind: str, replica_id: int, detail: str) -> None:
         self.events.append(MembershipEvent(
             time=self.cluster.sim.now, kind=kind, replica_id=replica_id, detail=detail))
+        obs = self.cluster.observability
+        if obs is not None:
+            obs.membership_event(self.cluster.sim.now, kind, replica_id, detail)
 
     def describe(self) -> str:
         lines = ["membership: %d in service, %d crashed, %d draining, %d retired" % (

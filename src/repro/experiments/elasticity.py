@@ -145,9 +145,17 @@ def count_lost_updates(cluster: ReplicatedCluster) -> int:
     return lost
 
 
-def run_elastic_experiment(config: ElasticityConfig) -> ElasticityResult:
-    """Run one elasticity scenario end-to-end."""
+def run_elastic_experiment(config: ElasticityConfig,
+                           observability=None) -> ElasticityResult:
+    """Run one elasticity scenario end-to-end.
+
+    ``observability`` (a :class:`repro.obs.ObservabilityHub`) is attached
+    before the run, so membership churn, faults and autoscaler decisions
+    land in the trace and registry; ``None`` keeps the zero-overhead path.
+    """
     cluster, autoscaler, injector = build_elastic_cluster(config)
+    if observability is not None:
+        observability.attach(cluster)
     base = config.base
     start_replicas = len(cluster.replicas)
 

@@ -128,6 +128,74 @@ def format_series(series: Iterable, title: str = "", every: int = 1) -> str:
     return "\n".join(lines)
 
 
+#: Display order of the abort-reason taxonomy (MetricsCollector.abort_reasons).
+ABORT_REASONS = ("certification-conflict", "retry-exhausted",
+                 "crash-in-flight", "drain-straggler")
+
+
+def format_abort_breakdown(results: Sequence[ExperimentResult],
+                           title: str = "aborts by reason") -> str:
+    """Per-reason abort/failure counts, one row per experiment.
+
+    Replaces the bare abort total: certification conflicts that were retried
+    are separated from aborts returned to the client (retry exhausted) and
+    from crash/drain failures, which are not certification aborts at all.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "%-28s" % "experiment" + "".join(
+        " %14s" % reason.replace("certification-", "cert-")
+        for reason in ABORT_REASONS) + " %10s" % "total"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for result in results:
+        reasons = result.abort_reasons
+        counts = [reasons.get(reason, 0) for reason in ABORT_REASONS]
+        extra = sum(count for reason, count in reasons.items()
+                    if reason not in ABORT_REASONS)
+        lines.append("%-28s" % result.label + "".join(
+            " %14d" % count for count in counts)
+            + " %10d" % (sum(counts) + extra))
+    return "\n".join(lines)
+
+
+def summarize_telemetry(payload: Mapping) -> str:
+    """One-screen summary of a telemetry-registry export.
+
+    ``payload`` is the parsed JSON written by
+    :meth:`repro.obs.ObservabilityHub.export_telemetry` (or
+    ``TelemetryRegistry.export``): schema version, snapshot count and span,
+    final counter values, and the per-stage latency table when present.
+    """
+    lines: List[str] = ["telemetry (schema v%s)" % payload.get("schema_version")]
+    snapshots = payload.get("snapshots", [])
+    if snapshots:
+        lines.append("%d snapshots over t=[%.1f, %.1f]s" % (
+            len(snapshots), snapshots[0]["time"], snapshots[-1]["time"]))
+        final = snapshots[-1]
+        counters = final.get("counters", {})
+        if counters:
+            lines.append("final counters:")
+            for name in sorted(counters):
+                lines.append("  %-36s %s" % (name, counters[name]))
+    stage_latency = payload.get("stage_latency")
+    if stage_latency:
+        lines.append("per-stage latency (seconds):")
+        lines.append("  %-10s %10s %12s %12s %12s" % (
+            "stage", "count", "mean", "p50", "p99"))
+        stages = dict(stage_latency.get("stages", {}))
+        stages["total"] = stage_latency.get("total", {})
+        for stage in list(sorted(stage_latency.get("stages", {}))) + ["total"]:
+            hist = stages[stage]
+            lines.append("  %-10s %10d %12.6f %12.6f %12.6f" % (
+                stage, hist.get("count", 0), hist.get("mean_seconds", 0.0),
+                hist.get("p50_seconds", 0.0), hist.get("p99_seconds", 0.0)))
+        lines.append("  stage-sum vs end-to-end reconcile error: %.3e"
+                     % stage_latency.get("reconcile_error", 0.0))
+    return "\n".join(lines)
+
+
 def shape_check(results: Sequence[ExperimentResult],
                 expected_order: Sequence[str]) -> List[str]:
     """Verify the qualitative ordering of policies by throughput.

@@ -1,0 +1,121 @@
+"""Unified telemetry registry: counters, sampled gauges and snapshots.
+
+The simulator accumulated metrics islands as it grew -- ``CertifierStats``,
+``BufferPoolStats``, the admission controller's queue counters, the routing
+table's outstanding counts, the monitor's smoothed samples, the
+membership/fault/autoscaler audit trails.  The registry gives them one
+publication surface:
+
+* **counters** are monotonically increasing values owned by the registry
+  (instrument sites call :meth:`Counter.inc`);
+* **gauges** are named callables sampled at snapshot time, so the existing
+  islands keep their state and the registry reads it on demand -- no
+  double bookkeeping on hot paths;
+* **snapshots** are periodic time-bucketed samples of everything, forming
+  the time series the future control-plane dashboard (ROADMAP item 3) will
+  stream.
+
+Everything is JSON-exportable through :meth:`TelemetryRegistry.to_dict`;
+the experiments runner and the perf harness write that export next to their
+results.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional
+
+TELEMETRY_SCHEMA_VERSION = 1
+
+
+class Counter:
+    """One monotonically increasing telemetry counter (int or float)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+
+class TelemetryRegistry:
+    """Named counters and gauges with periodic time-bucketed snapshots."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Callable[[], object]] = {}
+        self.snapshots: List[Dict] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name`` (idempotent)."""
+        counter = self._counters.get(name)
+        if counter is None:
+            self._counters[name] = counter = Counter(name)
+        return counter
+
+    def gauge(self, name: str, fn: Callable[[], object]) -> None:
+        """Register (or replace) a gauge sampled at snapshot time.
+
+        ``fn`` must return a JSON-serialisable value -- a number for plain
+        gauges, or a dict for structured ones (e.g. per-replica detail).
+        """
+        self._gauges[name] = fn
+
+    def unregister_gauge(self, name: str) -> None:
+        self._gauges.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str):
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def counters_snapshot(self) -> Dict[str, object]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauges_snapshot(self) -> Dict[str, object]:
+        return {name: fn() for name, fn in sorted(self._gauges.items())}
+
+    def snapshot(self, now: float) -> Dict:
+        """Sample everything into a time-stamped snapshot and retain it."""
+        snap = {
+            "time": now,
+            "counters": self.counters_snapshot(),
+            "gauges": self.gauges_snapshot(),
+        }
+        self.snapshots.append(snap)
+        return snap
+
+    def series(self, metric: str) -> List[tuple]:
+        """``(time, value)`` pairs of one counter or gauge across snapshots."""
+        points = []
+        for snap in self.snapshots:
+            if metric in snap["counters"]:
+                points.append((snap["time"], snap["counters"][metric]))
+            elif metric in snap["gauges"]:
+                points.append((snap["time"], snap["gauges"][metric]))
+        return points
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "snapshots": self.snapshots,
+        }
+
+    def export(self, path: str, extra: Optional[Dict] = None) -> None:
+        payload = self.to_dict()
+        if extra:
+            payload.update(extra)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")

@@ -135,7 +135,7 @@ class _Notification:
 
     def __call__(self) -> None:
         self.pending.discard(self.replica.replica_id)
-        self.replica.pull_updates()
+        self.replica.pull_updates(trigger="notification")
 
 
 class _InFlight:
@@ -198,6 +198,11 @@ class ReplicatedCluster:
             self.certifier = Certifier()
         self.monitor = ClusterMonitor(self.sim, interval=self.config.monitor_interval_s)
         self.metrics = MetricsCollector(warmup_seconds=0.0)
+        #: Observability hub (repro.obs.ObservabilityHub) or None.  Set by
+        #: hub.attach(); the cold-path subsystems (membership, faults,
+        #: autoscaler) publish events through it when present.  Must exist
+        #: before _build_replicas so joiners can be instrumented uniformly.
+        self.observability = None
         self.replicas: Dict[int, Replica] = {}
         #: event-maintained routing state (outstanding counters, live-replica
         #: cache, effective loads) shared with the balancer through the view.
@@ -269,6 +274,9 @@ class ReplicatedCluster:
         )
         replica.metrics = self.metrics
         replica.on_local_commit = self._on_local_commit
+        obs = self.observability
+        if obs is not None:
+            obs.instrument_replica(replica)
         return replica
 
     def _activate_replica(self, replica: Replica) -> None:
@@ -320,19 +328,36 @@ class ReplicatedCluster:
 
         self.sim.defer(self.config.propagation_interval_s, tick)
 
-    def _fail_inflight(self, replica_id: int) -> int:
+    def _fail_inflight(self, replica_id: int,
+                       reason: str = "crash-in-flight") -> int:
         """Fail every transaction in flight at a (crashed) replica.
 
         The clients' completion callbacks run with ``committed=False`` so
-        closed-loop clients immediately re-issue elsewhere.  Returns the
-        number of transactions failed.
+        closed-loop clients immediately re-issue elsewhere.  ``reason`` feeds
+        the abort-reason taxonomy ("crash-in-flight" or "drain-straggler");
+        these failures are not certification aborts, so ``metrics.aborts``
+        is untouched.  Returns the number of transactions failed.
         """
         pending = self._inflight.get(replica_id, {})
         failed = 0
         for done in list(pending.values()):
             done(False)
             failed += 1
+        if failed:
+            self.metrics.record_failure(reason, failed)
         return failed
+
+    def _purge_replica_state(self, replica_id: int) -> None:
+        """Drop the last traces of a replica that has fully left.
+
+        Deactivation intentionally keeps the routing outstanding counter (so
+        draining and crash-failing stay accountable); once the in-flight set
+        is resolved, this clears the counter, any load sample the replica
+        pushed before leaving, and its empty in-flight table, so no stale
+        state can influence later routing decisions or linger in snapshots.
+        """
+        self.routing.purge_replica(replica_id)
+        self._inflight.pop(replica_id, None)
 
     def notify_membership_changed(self) -> None:
         """Tell the balancer the replica set changed and re-push filters.

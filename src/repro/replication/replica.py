@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
+from repro.obs.trace import CERTIFY, CPU, QUEUE, READS, STAGE_NAMES, TxnTrace
 from repro.replication.certifier import Certifier
 from repro.replication.proxy import AdmissionController, ProxyConfig, ReplicaProxy
 from repro.replication.writeset import CertifiedWriteSet
@@ -72,7 +73,8 @@ class TransactionContext:
     DONE = 4
 
     __slots__ = ("replica", "txn_type", "submitted_at", "on_done", "attempt",
-                 "state", "epoch", "txn_id", "snapshot", "work", "writeset")
+                 "state", "epoch", "txn_id", "snapshot", "work", "writeset",
+                 "trace")
 
     def __init__(self, replica: "Replica", txn_type: TransactionType,
                  submitted_at: float, on_done: CompletionCallback) -> None:
@@ -87,6 +89,9 @@ class TransactionContext:
         self.snapshot = 0
         self.work: Optional[TransactionWork] = None
         self.writeset = None
+        # Per-transaction trace state; None unless an ObservabilityHub with
+        # a tracer is attached (the zero-overhead fast path).
+        self.trace: Optional[TxnTrace] = None
 
     # Stage continuations (scheduled on resources / the event queue) -------
     def start(self) -> None:
@@ -98,6 +103,8 @@ class TransactionContext:
         if replica.epoch != self.epoch:
             return
         self.state = TransactionContext.READS
+        if self.trace is not None:
+            replica._trace_lap(self, CPU)
         work = self.work
         read_time = replica.disk_model.read_seconds(
             work.random_read_bytes, work.sequential_read_bytes
@@ -111,6 +118,8 @@ class TransactionContext:
         replica = self.replica
         if replica.epoch != self.epoch:
             return
+        if self.trace is not None:
+            replica._trace_lap(self, READS)
         if self.writeset is None:
             replica._finish(self, committed=True)
             return
@@ -139,6 +148,10 @@ class Replica:
         self.proxy.lag_index = getattr(certifier, "subscriptions", None)
         self.max_retries = max_retries
         self.metrics: Optional[MetricsCollector] = None
+        # Observability hub (tracer + telemetry registry); None keeps every
+        # instrumentation site on the no-op fast path, same contract as
+        # ``metrics``.  Installed by ObservabilityHub.instrument_replica.
+        self.obs = None
         # Hook installed by the cluster: called once per certification batch
         # that committed at least one transaction, so the writesets (already
         # in the certifier's log) are propagated to the other replicas.
@@ -168,6 +181,9 @@ class Replica:
         if not self.alive:
             raise RuntimeError("replica %d is not alive" % (self.replica_id,))
         ctx = TransactionContext(self, txn_type, submitted_at, on_done)
+        obs = self.obs
+        if obs is not None and obs.tracer is not None:
+            ctx.trace = TxnTrace(submitted_at)
         self.proxy.admission.admit(ctx)
 
     def _start(self, ctx: TransactionContext) -> None:
@@ -180,6 +196,15 @@ class Replica:
         ctx.state = TransactionContext.CPU
         ctx.txn_id = self._next_txn_id = self._next_txn_id + 1
         ctx.snapshot = self.engine.snapshots.begin(ctx.txn_id)
+        trace = ctx.trace
+        if trace is not None:
+            # First attempt: the lap covers admission queueing.  Retries:
+            # zero-length (the retry starts in the same event as the abort),
+            # recorded anyway so every attempt shows in the trace.
+            if trace.txn_id == 0:
+                trace.txn_id = ctx.txn_id
+            trace.attempts = ctx.attempt
+            self._trace_lap(ctx, QUEUE)
         ctx.work, ctx.writeset = self.engine.execute(ctx.txn_type)
         cpu_time = ctx.work.cpu_seconds
         if cpu_time > 0:
@@ -244,6 +269,16 @@ class Replica:
             ), ctx.snapshot))
         results, piggyback = self.certifier.certify_batch(
             requests, since_version=proxy.applied_version, now=self.sim.now)
+        obs = self.obs
+        tracer = obs.tracer if obs is not None else None
+        if tracer is not None:
+            latency = proxy.config.certification_latency_s
+            commits = sum(1 for result in results if result.committed)
+            tracer.span("cert-roundtrip", "certification",
+                        self.sim.now - latency, latency, replica_id, 0,
+                        args={"batch": len(results), "commits": commits,
+                              "aborts": len(results) - commits,
+                              "piggybacked": len(piggyback)})
         committed_any = False
         for i, result in enumerate(results):
             if result.committed:
@@ -265,14 +300,24 @@ class Replica:
             self.apply_remote_writesets(piggyback)
         for i, result in enumerate(results):
             ctx = batch[i]
+            trace = ctx.trace
+            if trace is not None:
+                self._trace_lap(ctx, CERTIFY)
             if result.committed:
                 self._finish(ctx, committed=True)
             else:
                 self.aborted += 1
+                retrying = ctx.attempt < self.max_retries
+                reason = "certification-conflict" if retrying else "retry-exhausted"
                 if self.metrics is not None:
-                    self.metrics.record_abort()
+                    self.metrics.record_abort(reason)
+                if trace is not None:
+                    tracer.instant("abort", "txn", self.sim.now, replica_id,
+                                   trace.txn_id,
+                                   args={"reason": reason,
+                                         "attempt": ctx.attempt})
                 self.engine.snapshots.finish(ctx.txn_id)
-                if ctx.attempt < self.max_retries:
+                if retrying:
                     # Retry immediately on the same replica, keeping the
                     # admission slot; the piggybacked writesets were applied
                     # above, so the retry begins at a fresh snapshot.
@@ -290,6 +335,8 @@ class Replica:
     def _finish(self, ctx: TransactionContext, committed: bool,
                 already_closed: bool = False) -> None:
         ctx.state = TransactionContext.DONE
+        if ctx.trace is not None:
+            self._trace_finish(ctx, committed)
         if not already_closed:
             self.engine.snapshots.finish(ctx.txn_id)
         self.completed += 1
@@ -303,6 +350,36 @@ class Replica:
             )
         self.proxy.admission.release()
         ctx.on_done(committed)
+
+    # ------------------------------------------------------------------
+    # Tracing (no-ops unless an ObservabilityHub armed ``ctx.trace``)
+    # ------------------------------------------------------------------
+    def _trace_lap(self, ctx: TransactionContext, stage: int) -> None:
+        """Close the trace's current stage at ``now`` and emit its span."""
+        trace = ctx.trace
+        now = self.sim.now
+        start = trace.lap(stage, now)
+        self.obs.tracer.span(STAGE_NAMES[stage], "stage", start, now - start,
+                             self.replica_id, trace.txn_id,
+                             args={"attempt": ctx.attempt})
+
+    def _trace_finish(self, ctx: TransactionContext, committed: bool) -> None:
+        """Record the finished transaction's histograms and summary span.
+
+        Only transactions that reach ``_finish`` are recorded (crash- or
+        drain-abandoned ones never do), so the per-stage histograms
+        sum-reconcile with the end-to-end latency histogram: the stage laps
+        telescope from ``submitted_at`` to the finish instant.
+        """
+        trace = ctx.trace
+        now = self.sim.now
+        total = now - ctx.submitted_at
+        tracer = self.obs.tracer
+        tracer.stages.record_txn(trace.stage_seconds, total)
+        tracer.span("txn", "txn", ctx.submitted_at, total, self.replica_id,
+                    trace.txn_id,
+                    args={"type": ctx.txn_type.name, "committed": committed,
+                          "attempts": ctx.attempt})
 
     # ------------------------------------------------------------------
     # Crash / restore (elasticity)
@@ -387,18 +464,22 @@ class Replica:
             proxy.advance(applied_version)
             engine.snapshots.advance(applied_version)
 
-    def pull_updates(self) -> int:
+    def pull_updates(self, trigger: str = "periodic") -> int:
         """Fetch and apply all writesets committed since our applied version.
 
         Returns the number of writesets fetched.  Called periodically (the
         prototype pulls every 500 ms when idle) and by the certifier's lag
-        notifications.  A crashed or retired replica pulls nothing.
+        notifications (``trigger="notification"``, used by the telemetry
+        pull-source breakdown).  A crashed or retired replica pulls nothing.
         """
         if not self.alive:
             return 0
         entries = self.certifier.writesets_since(self.proxy.applied_version)
         if entries:
             self.apply_remote_writesets(entries)
+        obs = self.obs
+        if obs is not None:
+            obs.record_pull(self.replica_id, trigger, len(entries), self.sim.now)
         return len(entries)
 
     # ------------------------------------------------------------------

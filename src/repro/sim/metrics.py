@@ -72,7 +72,15 @@ class MetricsCollector:
         # (remote writeset application), charged per replica.
         self.background_write_bytes: Dict[int, float] = {}
         self.background_read_bytes: Dict[int, float] = {}
+        #: Client-visible certification aborts (the quantity the determinism
+        #: goldens pin); crash/drain failures are *not* counted here.
         self.aborts: int = 0
+        #: Abort/failure taxonomy: "certification-conflict" (aborted but
+        #: retried), "retry-exhausted" (certification abort returned to the
+        #: client), "crash-in-flight" (replica crashed mid-transaction) and
+        #: "drain-straggler" (failed at a drain deadline).  The first two
+        #: also bump ``aborts``; the last two come from record_failure.
+        self.abort_reasons: Dict[str, int] = {}
         self.end_time: float = 0.0
 
     # ------------------------------------------------------------------
@@ -123,8 +131,22 @@ class MetricsCollector:
         self.background_write_bytes[replica_id] = \
             self.background_write_bytes.get(replica_id, 0.0) + write_bytes
 
-    def record_abort(self) -> None:
+    def record_abort(self, reason: str = "certification-conflict") -> None:
         self.aborts += 1
+        reasons = self.abort_reasons
+        reasons[reason] = reasons.get(reason, 0) + 1
+
+    def record_failure(self, reason: str, count: int = 1) -> None:
+        """Transactions failed outside certification (crash, drain deadline).
+
+        Kept out of ``aborts`` -- that counter means certification aborts and
+        is pinned by the seeded goldens -- but folded into the same
+        ``abort_reasons`` taxonomy the reports break down.
+        """
+        if count <= 0:
+            return
+        reasons = self.abort_reasons
+        reasons[reason] = reasons.get(reason, 0) + count
 
     # ------------------------------------------------------------------
     # Headline metrics

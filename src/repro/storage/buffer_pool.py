@@ -99,7 +99,7 @@ class BufferPool:
 
     __slots__ = ("capacity_bytes", "_capacity_f", "skew", "_relations",
                  "_resident_total", "_hot_total", "_maybe_evict", "_mru",
-                 "stats")
+                 "stats", "on_evict")
 
     def __init__(self, capacity_bytes: int, skew: float = 0.35) -> None:
         if capacity_bytes <= 0:
@@ -133,6 +133,10 @@ class BufferPool:
         # accesses to the same relation -- skip the move_to_end re-probe.
         self._mru: Optional[str] = None
         self.stats = BufferPoolStats()
+        #: Optional callback(freed_bytes) fired after each eviction pass
+        #: (observability).  None by default: the eviction path pays one
+        #: attribute test when nothing is attached.
+        self.on_evict = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -363,6 +367,7 @@ class BufferPool:
             return
         relations = self._relations
         stats = self.stats
+        evicted_before = stats.evicted_bytes
         emptied = None
         # Iterate in place (LRU first); state mutation during iteration is
         # fine, deletions are deferred until after the loop.  Relative order
@@ -416,3 +421,8 @@ class BufferPool:
                 hot_total = 0.0
             self._hot_total = hot_total
             self._maybe_evict = hot_total > self._capacity_f
+        on_evict = self.on_evict
+        if on_evict is not None:
+            freed = stats.evicted_bytes - evicted_before
+            if freed > 0:
+                on_evict(freed)

@@ -178,10 +178,10 @@ def test_counters_exact_across_drain():
     cluster.remove_replica(victim, drain=True)
     assert victim not in cluster.replica_ids()
     cluster.sim.run_until(25.0)
-    # Drained: every in-flight transaction completed, counter exactly zero,
-    # replica retired (not crashed).
-    assert cluster.routing.outstanding.get(victim, 0) == 0
-    assert not cluster._inflight[victim]
+    # Drained: every in-flight transaction completed, then retirement purged
+    # the replica's routing counter and in-flight table entirely.
+    assert victim not in cluster.routing.outstanding
+    assert victim not in cluster._inflight
     assert victim in cluster.membership.retired
     _assert_counters_exact(cluster)
 

@@ -163,3 +163,41 @@ def test_malb_replans_update_filtering_on_churn():
     # Proxies of live replicas carry the new plan.
     for rid, replica in cluster.replicas.items():
         assert replica.proxy.filter_tables == balancer.filter_plan.tables_for(rid)
+
+
+def test_churn_purges_stale_replica_state():
+    """After a replica fully leaves (crash or retirement), nothing about it
+    may linger where routing or snapshots could read it: no monitor sample,
+    no routing-table pushed sample, no outstanding counter, no in-flight
+    table.  Regression test for the stale-sample leak on churn."""
+    cluster = make_cluster(replicas=4)
+    cluster.start()
+    cluster.sim.run_until(10.0)
+
+    def assert_purged(rid):
+        assert rid not in cluster.monitor.loads()
+        assert rid not in cluster.routing.outstanding
+        assert rid not in cluster.routing._samples
+        assert rid not in cluster.routing._eff_cache
+        assert rid not in cluster._inflight
+
+    # Crash: in-flight work fails synchronously, then the purge runs.
+    cluster.crash_replica(1)
+    assert_purged(1)
+
+    # Restore: the replica is fully re-registered and accumulates samples
+    # again (the purge must not break re-activation).
+    cluster.restore_replica(1)
+    cluster.sim.run_until(20.0)
+    assert 1 in cluster.routing.outstanding
+    assert 1 in cluster.monitor.loads()
+
+    # Graceful leave: purge runs at retirement, after the drain resolves.
+    cluster.remove_replica(2, drain=True)
+    cluster.sim.run_until(40.0)
+    assert 2 in cluster.membership.retired
+    assert_purged(2)
+
+    # A replica the monitor sampled keeps publishing for the survivors only.
+    for rid in cluster.replica_ids():
+        assert rid in cluster.monitor.loads()

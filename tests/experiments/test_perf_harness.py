@@ -77,3 +77,32 @@ def test_cli_floor_gate(tmp_path, monkeypatch):
                  "--min-events-per-sec", "10"]) == 0
     assert out.exists()
     assert main(["--scenario", "demo", "--min-events-per-sec", "10000"]) == 1
+
+
+def test_obs_overhead_scenario_registered():
+    assert "obs-overhead" in SCENARIOS
+
+
+def test_cli_trace_flags_write_exports(tmp_path, monkeypatch):
+    import benchmarks.perf.run as run_module
+
+    captured = {}
+
+    def fake_scenario(quick, obs=None):
+        captured["obs"] = obs
+        if obs is not None and obs.tracer is not None:
+            obs.tracer.span("txn", "txn", 0.0, 1.0, 0, 1)
+        if obs is not None and obs.registry is not None:
+            obs.registry.counter("demo").inc()
+            obs.registry.snapshot(1.0)
+        return _timing()
+
+    monkeypatch.setattr(run_module, "SCENARIOS", {"demo": fake_scenario})
+    trace = tmp_path / "trace.json"
+    telemetry = tmp_path / "telemetry.json"
+    assert main(["--scenario", "demo", "--trace", str(trace),
+                 "--telemetry-json", str(telemetry)]) == 0
+    assert captured["obs"] is not None
+    payload = json.loads(trace.read_text())
+    assert payload["traceEvents"]
+    assert json.loads(telemetry.read_text())["snapshots"]

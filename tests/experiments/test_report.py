@@ -45,3 +45,39 @@ def test_shape_check_detects_violations():
     problems = shape_check(results, ["LeastConnections", "MALB-SC"])
     assert problems
     assert shape_check(results, ["MALB-SC", "LeastConnections"]) == []
+
+
+def test_abort_breakdown_lists_all_reasons():
+    from repro.experiments.report import format_abort_breakdown
+
+    r = result("MALB-SC", 80.0)
+    r.abort_reasons = {"certification-conflict": 4, "retry-exhausted": 1,
+                       "crash-in-flight": 2}
+    text = format_abort_breakdown([r])
+    assert "cert-conflict" in text and "crash-in-flight" in text
+    # Per-reason counts and the total (4 + 1 + 2 = 7) are all rendered.
+    assert " 4" in text and " 7" in text
+
+
+def test_summarize_telemetry_renders_counters_and_stages():
+    from repro.experiments.report import summarize_telemetry
+
+    payload = {
+        "schema_version": 1,
+        "snapshots": [
+            {"time": 5.0, "counters": {"pulls.periodic": 3}, "gauges": {}},
+            {"time": 10.0, "counters": {"pulls.periodic": 9}, "gauges": {}},
+        ],
+        "stage_latency": {
+            "stages": {"cpu": {"count": 2, "mean_seconds": 0.01,
+                               "p50_seconds": 0.01, "p99_seconds": 0.02}},
+            "total": {"count": 2, "mean_seconds": 0.05,
+                      "p50_seconds": 0.04, "p99_seconds": 0.09},
+            "reconcile_error": 1e-15,
+        },
+    }
+    text = summarize_telemetry(payload)
+    assert "2 snapshots over t=[5.0, 10.0]s" in text
+    assert "pulls.periodic" in text and "9" in text
+    assert "cpu" in text and "total" in text
+    assert "reconcile error" in text

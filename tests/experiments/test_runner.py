@@ -74,3 +74,41 @@ def test_build_cluster_uses_schedule_phases():
                               duration_s=100.0, warmup_s=10.0)
     cluster = build_cluster(config)
     assert cluster.schedule.mix_at(75.0) == "browsing"
+
+
+def test_named_experiment_configs_cover_the_figures():
+    from repro.experiments.runner import named_experiment_configs
+
+    named = named_experiment_configs()
+    assert "figure6-dynamic/MALB-SC" in named
+    assert "golden-mid/MALB-SC" in named
+    for key, config in named.items():
+        assert key == "%s/%s" % (config.name, config.policy)
+
+
+def test_runner_cli_lists_and_runs(tmp_path, capsys):
+    from repro.experiments.runner import main
+
+    assert main(["--list"]) == 0
+    assert "golden-mid/MALB-SC" in capsys.readouterr().out
+
+    trace = tmp_path / "trace.json"
+    telemetry = tmp_path / "telemetry.json"
+    assert main(["--name", "golden-mid/MALB-SC",
+                 "--duration", "20", "--warmup", "5",
+                 "--trace", str(trace),
+                 "--telemetry-json", str(telemetry)]) == 0
+    out = capsys.readouterr().out
+    assert "aborts by reason" in out
+    import json
+    assert json.loads(trace.read_text())["traceEvents"]
+    assert json.loads(telemetry.read_text())["snapshots"]
+
+
+def test_run_experiment_reports_abort_reasons():
+    config = ExperimentConfig(name="tiny-run", db_label="SmallDB",
+                              mix="browsing", num_replicas=2,
+                              clients_per_replica=2, duration_s=10.0,
+                              warmup_s=2.0)
+    result = run_experiment(config)
+    assert isinstance(result.abort_reasons, dict)
