@@ -42,6 +42,12 @@ Scenarios:
   fig6-dynamic scenario bare versus with a full ObservabilityHub (tracing,
   telemetry, periodic snapshots) attached; the enabled-mode slowdown is
   reported under ``extra``.
+* ``chaos-soak`` -- the seeded chaos campaign (repro.experiments.chaos):
+  unreliable network with flaky-link windows, a duplicate burst, a
+  replica-certifier partition, a crash storm and a certifier fail-over,
+  followed by a full consistency-invariant audit.  The timing also asserts
+  the campaign's correctness claims: zero invariant violations and zero
+  lost certified updates.
 """
 
 from __future__ import annotations
@@ -360,6 +366,47 @@ def _obs_overhead(quick: bool, obs=None) -> ScenarioTiming:
     return timing
 
 
+def _chaos_soak(quick: bool, obs=None) -> ScenarioTiming:
+    """The seeded chaos campaign, timed and self-checking.
+
+    Unlike the other scenarios this one asserts its correctness claims --
+    a chaos soak that loses a certified update or leaves the log out of
+    order must fail the harness, not just run slower.
+    """
+    from repro.experiments.chaos import chaos_soak_config, run_chaos
+
+    config = chaos_soak_config(severity=0.6, seed=1,
+                               duration_s=120.0 if quick else 240.0)
+    start = time.perf_counter()
+    result = run_chaos(config, observability=obs)
+    wall = time.perf_counter() - start
+    result.report.raise_if_violated()
+    if result.lost_certified_updates:
+        raise AssertionError("chaos soak lost %d certified updates"
+                             % result.lost_certified_updates)
+    return ScenarioTiming(
+        name="chaos-soak",
+        wall_seconds=wall,
+        sim_seconds=config.base.duration_s,
+        events_processed=result.events_processed,
+        transactions_completed=result.run.metrics.completed,
+        throughput_tps=result.run.throughput_tps,
+        extra={
+            "severity": config.severity,
+            "invariants_checked": float(sum(result.report.checked.values())),
+            "faults_injected": float(len(result.faults)),
+            "messages_dropped": float(result.net.get("dropped", 0)),
+            "messages_duplicated": float(result.net.get("duplicated", 0)),
+            "rpc_timeouts": float(result.rpc["timeouts"]),
+            "rpc_retries": float(result.rpc["retries"]),
+            "certifier_dedup_hits": float(result.rpc["dedup_hits"]),
+            "shed_unreachable": float(result.shed_unreachable),
+            "partition_window_tps": result.partition_window_tps,
+            "recovery_window_tps": result.recovery_window_tps,
+        },
+    )
+
+
 SCENARIOS: Dict[str, Callable[..., ScenarioTiming]] = {
     "midsize-malb": _midsize,
     "fig6-dynamic": _fig6_dynamic,
@@ -369,4 +416,5 @@ SCENARIOS: Dict[str, Callable[..., ScenarioTiming]] = {
     "commit-fanout": _commit_fanout,
     "dispatch-micro": _dispatch_micro,
     "obs-overhead": _obs_overhead,
+    "chaos-soak": _chaos_soak,
 }

@@ -2,9 +2,12 @@
 
 Drives the failure modes the paper's architecture claims to survive, inside
 a running simulation: replica crashes with later restarts (online recovery
-through :func:`~repro.replication.recovery.recover_replica`) and fail-over
+through :func:`~repro.replication.recovery.recover_replica`), fail-over
 of the replicated certifier
-(:meth:`~repro.replication.recovery.ReplicatedCertifierLog.fail_over`).
+(:meth:`~repro.replication.recovery.ReplicatedCertifierLog.fail_over`),
+and -- when the cluster runs the unreliable-network model
+(``ClusterConfig.network``) -- replica-certifier link partitions, heals
+and flaky-link windows (elevated drop/duplication/jitter for a while).
 Faults are scheduled at absolute simulated times before or during a run;
 targets may be named or left to a seeded RNG at fire time, so a campaign is
 reproducible but does not need to know the membership in advance.
@@ -28,7 +31,9 @@ class FaultRecord:
     """One injected (or skipped) fault, for the audit trail."""
 
     time: float
-    kind: str          # "crash", "restart", "certifier-failover", "skipped"
+    #: "crash", "restart", "certifier-failover", "partition", "heal",
+    #: "flaky-link", "link-restored" or "skipped".
+    kind: str
     replica_id: int
     detail: str = ""
 
@@ -75,6 +80,14 @@ class FaultInjector:
         self.cluster.sim.schedule_at(at_s, fire)
 
     def _restart(self, replica_id: int) -> None:
+        # Skip-safe: between the crash and this scheduled restart the target
+        # may have been restored by someone else, retired, or removed by the
+        # autoscaler -- restore_replica would raise on a non-crashed
+        # replica.  Record the skip instead so campaigns compose freely.
+        if replica_id not in self.cluster.membership.crashed:
+            self._record("skipped", replica_id,
+                         "restart target is no longer crashed")
+            return
         replayed = self.cluster.membership.restore_replica(replica_id)
         self._record("restart", replica_id, "replayed %d writesets" % replayed)
 
@@ -103,6 +116,128 @@ class FaultInjector:
                          "%s at version %d, %d backups remain"
                          % ("leader crash" if leader_failed else "planned handover",
                             version, len(certifier.backups)))
+
+        self.cluster.sim.schedule_at(at_s, fire)
+
+    # ------------------------------------------------------------------
+    # Network faults (require ClusterConfig.network)
+    # ------------------------------------------------------------------
+    def _require_network(self, action: str):
+        network = self.cluster.network
+        if network is None:
+            raise RuntimeError(
+                "cannot schedule a %s: the cluster has no network model; "
+                "set ClusterConfig.network" % action)
+        return network
+
+    def _pick_target(self, replica_id: Optional[int], action: str) -> Optional[int]:
+        """Resolve a fault target at fire time (seeded choice when unnamed)."""
+        alive = self.cluster.replica_ids()
+        if replica_id is not None:
+            if replica_id not in alive:
+                self._record("skipped", replica_id,
+                             "%s target not in service" % action)
+                return None
+            return replica_id
+        if not alive:
+            self._record("skipped", NO_REPLICA, "no replica in service")
+            return None
+        return self._rng.choice(alive)
+
+    def schedule_partition(self, at_s: float, replica_id: Optional[int] = None,
+                           duration_s: Optional[float] = None) -> None:
+        """Partition one replica's link to the certifier at ``at_s``.
+
+        While partitioned the replica can neither certify updates (its RPC
+        retries time out; with ``rpc_max_attempts`` set it sheds them as
+        ``certifier-unreachable``) nor pull or receive notifications --
+        read-only transactions keep committing locally.  ``replica_id=None``
+        picks a seeded random replica in service at fire time.  With
+        ``duration_s`` the link heals itself after that long.
+        """
+        network = self._require_network("partition")
+
+        def fire() -> None:
+            target = self._pick_target(replica_id, "partition")
+            if target is None:
+                return
+            network.partition(target)
+            self._record("partition", target, "")
+            if duration_s is not None:
+                self.cluster.sim.schedule(duration_s,
+                                          lambda: self._heal(target))
+
+        self.cluster.sim.schedule_at(at_s, fire)
+
+    def schedule_heal(self, at_s: float,
+                      replica_id: Optional[int] = None) -> None:
+        """Heal a partitioned link at ``at_s`` (``None`` heals every link)."""
+        network = self._require_network("heal")
+
+        def fire() -> None:
+            if replica_id is None:
+                healed = network.partitioned_ids()
+                network.heal_all()
+                self._record("heal", NO_REPLICA,
+                             "healed links of replicas %s" % (list(healed),))
+            else:
+                self._heal(replica_id)
+
+        self.cluster.sim.schedule_at(at_s, fire)
+
+    def _heal(self, replica_id: int) -> None:
+        network = self.cluster.network
+        channel = network.links.get(replica_id)
+        if channel is None or not channel.partitioned:
+            self._record("skipped", replica_id, "link is not partitioned")
+            return
+        channel.heal()
+        self._record("heal", replica_id, "")
+
+    def schedule_flaky_link(self, at_s: float, duration_s: float,
+                            replica_id: Optional[int] = None,
+                            drop_probability: Optional[float] = None,
+                            duplicate_probability: Optional[float] = None,
+                            jitter_s: Optional[float] = None,
+                            reorder_probability: Optional[float] = None,
+                            reorder_delay_s: Optional[float] = None) -> None:
+        """Degrade one replica's link for a while, then restore it.
+
+        The named fault knobs override the network's base configuration for
+        ``duration_s`` seconds (e.g. a duplicate burst, a lossy window);
+        afterwards the link returns to the base config.  The channel's own
+        seeded RNG drives the per-message draws, so the window's effects are
+        exactly reproducible.
+        """
+        if duration_s <= 0:
+            raise ValueError("flaky-link duration must be positive")
+        network = self._require_network("flaky link")
+        from repro.net.channel import degraded
+
+        def fire() -> None:
+            target = self._pick_target(replica_id, "flaky-link")
+            if target is None:
+                return
+            config = degraded(
+                network.config.link,
+                drop_probability=drop_probability,
+                duplicate_probability=duplicate_probability,
+                jitter_s=jitter_s,
+                reorder_probability=reorder_probability,
+                reorder_delay_s=reorder_delay_s,
+            )
+            network.degrade(target, config)
+            self._record("flaky-link", target,
+                         "drop=%.3f dup=%.3f jitter=%.4fs for %.2fs"
+                         % (config.drop_probability,
+                            config.duplicate_probability,
+                            config.jitter_s, duration_s))
+
+            def restore() -> None:
+                network.restore(target)
+                self._record("link-restored", target, "")
+
+            self.cluster.sim.schedule(duration_s, restore)
 
         self.cluster.sim.schedule_at(at_s, fire)
 

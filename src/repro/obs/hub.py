@@ -149,6 +149,15 @@ class ObservabilityHub:
             self.tracer.instant(kind, "fault", now, replica_id,
                                 args={"detail": detail})
 
+    def rpc_event(self, replica_id: int, kind: str, now: float,
+                  args: Optional[dict] = None) -> None:
+        """An at-least-once certification RPC event (timeout, retry,
+        stale-response, shed) at one proxy.  Only fired in channel mode."""
+        if self.registry is not None:
+            self.registry.counter("rpc.%s" % kind).inc()
+        if self.tracer is not None:
+            self.tracer.instant(kind, "rpc", now, replica_id, args=args)
+
     def autoscaler_event(self, decision) -> None:
         if self.registry is not None:
             self.registry.counter("autoscaler.%s" % decision.action).inc()
@@ -191,7 +200,10 @@ class ObservabilityHub:
                        lambda: certifier.stats.batched_requests)
         registry.gauge("certifier.current_version",
                        lambda: certifier.current_version)
-        registry.gauge("certifier.log_entries", lambda: len(certifier.log))
+        # cluster.certifier may be a ReplicatedCertifierLog wrapper; resolve
+        # the (possibly failed-over) leader at sample time for its log.
+        registry.gauge("certifier.log_entries",
+                       lambda: len(getattr(certifier, "leader", certifier).log))
 
         def buffer_totals():
             requested = missed = resident = evicted = 0.0
@@ -250,6 +262,26 @@ class ObservabilityHub:
             return detail
 
         registry.gauge("replicas.detail", replica_detail)
+
+        if cluster.network is not None:
+            network = cluster.network
+            registry.gauge("net.summary", network.summary)
+            registry.gauge("rpc.timeouts_total",
+                           lambda: sum(r.rpc_timeouts
+                                       for r in cluster.replicas.values()))
+            registry.gauge("rpc.retries_total",
+                           lambda: sum(r.rpc_retries
+                                       for r in cluster.replicas.values()))
+            registry.gauge("rpc.stale_responses_total",
+                           lambda: sum(r.rpc_stale_responses
+                                       for r in cluster.replicas.values()))
+            registry.gauge("rpc.shed_unreachable_total",
+                           lambda: sum(r.shed_unreachable
+                                       for r in cluster.replicas.values()))
+            registry.gauge("certifier.dedup_hits",
+                           lambda: certifier.stats.dedup_hits)
+            registry.gauge("certifier.stale_requests",
+                           lambda: certifier.stats.stale_requests)
 
     # ------------------------------------------------------------------
     # Export

@@ -30,6 +30,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.replication.writeset import CertifiedWriteSet, WriteSet
 
+#: How many recent request decisions the certifier caches per origin
+#: replica, for idempotent at-least-once RPC.  A proxy keeps one round trip
+#: in flight, so the window only needs to cover responses still wandering
+#: the network when newer requests arrive; 16 is generous.
+RPC_DEDUP_WINDOW = 16
+
 
 @dataclass
 class CertificationResult:
@@ -48,6 +54,8 @@ class CertifierStats:
     notifications_sent: int = 0
     batches: int = 0            # batched round trips served (certify_batch calls)
     batched_requests: int = 0   # requests that arrived inside a batch
+    dedup_hits: int = 0         # retried/duplicated RPCs answered from cache
+    stale_requests: int = 0     # retransmissions older than the dedup window
 
     @property
     def abort_rate(self) -> float:
@@ -160,6 +168,11 @@ class Certifier:
         # (their writesets left the log) and are dropped when the log is
         # truncated.
         self._last_writer: Dict[Tuple[str, int], int] = {}
+        # At-least-once RPC dedup: per origin replica, the highest request id
+        # ever served plus a bounded window of recent decisions, so a retried
+        # or duplicated round trip is answered from cache instead of being
+        # certified twice.  See :meth:`certify_rpc`.
+        self.rpc_cache: Dict[int, Dict] = {}
         self.stats = CertifierStats()
 
     # ------------------------------------------------------------------
@@ -224,6 +237,54 @@ class Certifier:
         results = [self.certify(writeset, snapshot, now=now)
                    for writeset, snapshot in requests]
         return results, self.writesets_since(since_version)
+
+    def certify_rpc(self, origin_replica: int, request_id: int,
+                    requests: Sequence[Tuple[WriteSet, int]],
+                    since_version: int, now: float = 0.0
+                    ) -> Tuple[Optional[List[CertificationResult]],
+                               List[CertifiedWriteSet]]:
+        """Serve one *at-least-once* batched round trip, idempotently.
+
+        Proxies stamp every round trip with a per-proxy monotonically
+        increasing ``request_id`` and resend it (same id, same writeset
+        objects) on timeout, so the same request can arrive here any number
+        of times, in any order.  Three cases:
+
+        * **fresh** (``request_id`` above everything seen from this origin):
+          certified normally via :meth:`certify_batch`; the decision is
+          cached.
+        * **duplicate** (id still in the dedup window): answered from the
+          cached decision -- the batch is *not* re-certified -- with a
+          freshly computed piggyback, since the proxy's applied version may
+          have moved between transmissions.
+        * **stale** (id at or below the newest served id but outside the
+          window): a long-delayed retransmission whose round trip the proxy
+          has abandoned or already completed.  Returns ``(None, [])`` --
+          certifying it would commit the same writesets twice.  Never
+          happens within a window of :data:`RPC_DEDUP_WINDOW` retries, which
+          a one-round-trip-in-flight proxy cannot exceed.
+
+        Works unbound for :class:`~repro.replication.recovery.\
+ReplicatedCertifierLog` (which carries its own ``rpc_cache``), so the
+        dedup state survives certifier fail-over.
+        """
+        cache = self.rpc_cache.get(origin_replica)
+        if cache is None:
+            cache = self.rpc_cache[origin_replica] = {"latest": 0, "window": {}}
+        window = cache["window"]
+        cached = window.get(request_id)
+        if cached is not None:
+            self.stats.dedup_hits += 1
+            return cached, self.writesets_since(since_version)
+        if request_id <= cache["latest"]:
+            self.stats.stale_requests += 1
+            return None, []
+        cache["latest"] = request_id
+        results, piggyback = self.certify_batch(requests, since_version, now=now)
+        window[request_id] = results
+        while len(window) > RPC_DEDUP_WINDOW:
+            del window[next(iter(window))]
+        return results, piggyback
 
     def _find_conflict(self, writeset: WriteSet, snapshot_version: int) -> Optional[int]:
         """Index probe per written key: O(|writeset|), not O(log length).

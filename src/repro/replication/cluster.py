@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from repro.core.balancer import LoadBalancer
 from repro.core.routing import RoutingTable
+from repro.net.channel import Network, NetworkConfig
 from repro.replication.certifier import Certifier
 from repro.replication.proxy import ProxyConfig
 from repro.replication.recovery import ReplicatedCertifierLog
@@ -73,6 +74,14 @@ class ClusterConfig:
     #: :class:`~repro.replication.recovery.ReplicatedCertifierLog` so the
     #: fault injector can fail the leader over mid-run.
     certifier_backups: int = 0
+    #: Unreliable-network model (:class:`repro.net.channel.NetworkConfig`).
+    #: ``None`` -- the default -- builds no channels at all: certification
+    #: round trips and lag notifications take the direct loss-free defer
+    #: path, keeping every seeded golden bit-identical.  Set a config (even
+    #: a perfect one) to route them over per-replica channels with
+    #: schedulable partitions, drops, duplication and jitter, and to switch
+    #: certification to at-least-once RPC.
+    network: Optional[NetworkConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_replicas <= 0:
@@ -125,7 +134,15 @@ class RunResult:
 
 
 class _Notification:
-    """A lag notification in flight from the certifier to one proxy."""
+    """A lag notification in flight from the certifier to one proxy.
+
+    Cancel-aware: the notification only fires if its replica's entry is
+    still in the pending set.  The entry disappears when the replica
+    crashes (``_purge_replica_state``), when an unreliable channel drops the
+    message (:meth:`drop`, invoked at the drop decision so a fresh
+    notification can be sent instead of the dedup entry leaking forever),
+    or when a duplicated delivery already consumed it.
+    """
 
     __slots__ = ("pending", "replica")
 
@@ -134,8 +151,15 @@ class _Notification:
         self.replica = replica
 
     def __call__(self) -> None:
-        self.pending.discard(self.replica.replica_id)
+        replica_id = self.replica.replica_id
+        if replica_id not in self.pending:
+            return
+        self.pending.discard(replica_id)
         self.replica.pull_updates(trigger="notification")
+
+    def drop(self) -> None:
+        """The channel lost this notification: release the dedup entry."""
+        self.pending.discard(self.replica.replica_id)
 
 
 class _InFlight:
@@ -203,6 +227,14 @@ class ReplicatedCluster:
         #: autoscaler) publish events through it when present.  Must exist
         #: before _build_replicas so joiners can be instrumented uniformly.
         self.observability = None
+        #: Consistency checker (repro.net.invariants.ConsistencyChecker) or
+        #: None.  Installed by the checker itself; replicas built while it
+        #: is present get an apply ledger armed.  Same contract as
+        #: ``observability``: must exist before _build_replicas.
+        self.consistency = None
+        #: The unreliable-network model, or None for the direct defer path.
+        self.network = Network(self.sim, self.config.network) \
+            if self.config.network is not None else None
         self.replicas: Dict[int, Replica] = {}
         #: event-maintained routing state (outstanding counters, live-replica
         #: cache, effective loads) shared with the balancer through the view.
@@ -263,6 +295,7 @@ class ReplicatedCluster:
             rng=random.Random(self.config.seed * 1000 + replica_id),
         )
         resources = ReplicaResources.create(self.sim, replica_id)
+        network = self.network
         replica = Replica(
             replica_id=replica_id,
             sim=self.sim,
@@ -271,12 +304,15 @@ class ReplicatedCluster:
             certifier=self.certifier,
             disk_model=self.config.disk,
             proxy_config=self.config.proxy,
+            channel=network.link(replica_id) if network is not None else None,
         )
         replica.metrics = self.metrics
         replica.on_local_commit = self._on_local_commit
         obs = self.observability
         if obs is not None:
             obs.instrument_replica(replica)
+        if self.consistency is not None:
+            self.consistency.arm(replica)
         return replica
 
     def _activate_replica(self, replica: Replica) -> None:
@@ -358,6 +394,12 @@ class ReplicatedCluster:
         """
         self.routing.purge_replica(replica_id)
         self._inflight.pop(replica_id, None)
+        # Release any lag-notification dedup entry so a restored replica can
+        # be notified again; the in-flight _Notification (if any) is
+        # cancel-aware and fizzles when it lands.  The certifier's RPC dedup
+        # cache is deliberately NOT purged: forgetting served request ids
+        # would let a delayed duplicate request be re-certified.
+        self._notify_pending.discard(replica_id)
 
     def notify_membership_changed(self) -> None:
         """Tell the balancer the replica set changed and re-push filters.
@@ -483,7 +525,15 @@ class ReplicatedCluster:
             pending.add(replica_id)
             # pull_updates checks liveness when the message lands, so a
             # replica that crashes in between simply drops it.
-            sim.defer(latency, _Notification(pending, replica))
+            note = _Notification(pending, replica)
+            channel = replica.channel
+            if channel is None:
+                sim.defer(latency, note)
+            else:
+                # Notifications ride the same unreliable link as the RPCs;
+                # a lost one releases its dedup entry at the drop decision
+                # (note.drop), and the periodic pull backstops it anyway.
+                channel.deliver(latency, note, on_drop=note.drop)
 
     def _install_filters(self) -> None:
         """Push the balancer's current update-filtering decision to the proxies."""

@@ -48,6 +48,23 @@ class ProxyConfig:
         notification_latency_s: one-way certifier-to-proxy latency of a lag
             notification; the pull it triggers is deferred by this much, so
             piggyback propagation is not free relative to the periodic pull.
+        rpc_timeout_s: how long the proxy waits for a certification response
+            before retransmitting the round trip.  Only consulted when the
+            replica talks to the certifier over an unreliable
+            :class:`~repro.net.channel.Channel`; the default direct path
+            cannot lose messages and never times out.
+        rpc_backoff_base_s: first retry delay of the capped exponential
+            backoff (doubles per attempt, plus deterministic jitter).
+        rpc_backoff_cap_s: upper bound on the retry delay.
+        rpc_max_attempts: transmissions per round trip before the proxy
+            declares the certifier unreachable and sheds the batched update
+            transactions with ``certifier-unreachable`` aborts.  0 retries
+            forever (the round trip outlives any partition).
+        max_queued_certifications: bound on update transactions queued
+            behind the in-flight round trip; overflow is shed immediately
+            with ``certifier-unreachable``, keeping admission slots free for
+            read-only transactions while the certifier is unreachable.
+            0 is unbounded (the pre-RPC behaviour).
     """
 
     max_concurrency: int = 8
@@ -55,6 +72,11 @@ class ProxyConfig:
     certification_latency_s: float = 0.004
     max_certification_batch: int = 64
     notification_latency_s: float = 0.002
+    rpc_timeout_s: float = 0.02
+    rpc_backoff_base_s: float = 0.01
+    rpc_backoff_cap_s: float = 0.5
+    rpc_max_attempts: int = 0
+    max_queued_certifications: int = 0
 
     def __post_init__(self) -> None:
         if self.max_concurrency <= 0:
@@ -67,6 +89,16 @@ class ProxyConfig:
             raise ValueError("max_certification_batch must be positive")
         if self.notification_latency_s < 0:
             raise ValueError("notification latency must be non-negative")
+        if self.rpc_timeout_s <= 0:
+            raise ValueError("rpc_timeout_s must be positive")
+        if self.rpc_backoff_base_s < 0 or self.rpc_backoff_cap_s < 0:
+            raise ValueError("RPC backoff delays must be non-negative")
+        if self.rpc_backoff_cap_s < self.rpc_backoff_base_s:
+            raise ValueError("rpc_backoff_cap_s must be >= rpc_backoff_base_s")
+        if self.rpc_max_attempts < 0:
+            raise ValueError("rpc_max_attempts cannot be negative")
+        if self.max_queued_certifications < 0:
+            raise ValueError("max_queued_certifications cannot be negative")
 
 
 class AdmissionController:

@@ -21,7 +21,7 @@ This module provides that machinery for the simulated system:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.replication.certifier import (CertificationResult, Certifier,
                                          CertifierStats, LagSubscriptionIndex)
@@ -45,6 +45,10 @@ class ReplicatedCertifierLog:
     #: a fail-over must not forget which replicas are registered (the new
     #: leader's own index was never populated).  Created in __post_init__.
     subscriptions: Optional[LagSubscriptionIndex] = None
+    #: The at-least-once RPC dedup cache also lives on the replicated
+    #: service: a proxy retrying a round trip across a fail-over must be
+    #: answered idempotently by the new leader, not re-certified.
+    rpc_cache: Dict[int, Dict] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.subscriptions is None:
@@ -86,6 +90,20 @@ class ReplicatedCertifierLog:
         """
         return Certifier.certify_batch(self, requests, since_version, now=now)
 
+    def certify_rpc(self, origin_replica: int, request_id: int,
+                    requests: Sequence[Tuple[WriteSet, int]],
+                    since_version: int, now: float = 0.0):
+        """Serve an at-least-once round trip against the replicated log.
+
+        Reuses :meth:`Certifier.certify_rpc` unbound, like
+        :meth:`certify_batch`: the dedup window lives in this wrapper's
+        ``rpc_cache`` and certification goes through the wrapper's mirrored
+        ``certify``, so a retried batch straddling a fail-over is answered
+        from cache by the new leader instead of being certified twice.
+        """
+        return Certifier.certify_rpc(self, origin_replica, request_id,
+                                     requests, since_version, now=now)
+
     def fail_over(self, leader_failed: bool = True) -> Certifier:
         """Promote the most up-to-date backup to leader.
 
@@ -99,6 +117,13 @@ class ReplicatedCertifierLog:
             raise RuntimeError("no backup certifier available for fail-over")
         best = max(self.backups, key=lambda c: c.current_version)
         self.backups.remove(best)
+        # The RPC dedup cache lives on this wrapper and transfers to the new
+        # leader, so its hit counters transfer with it -- otherwise a
+        # campaign report would show zero dedup hits after a fail-over.
+        best.stats.dedup_hits += self.leader.stats.dedup_hits
+        best.stats.stale_requests += self.leader.stats.stale_requests
+        self.leader.stats.dedup_hits = 0
+        self.leader.stats.stale_requests = 0
         if not leader_failed:
             self.backups.append(self.leader)
         self.leader = best
@@ -169,6 +194,11 @@ def recover_replica(replica: Replica, certifier: Optional[Certifier] = None,
     if replica.proxy.applied_version < horizon:
         replica.proxy.advance(horizon)
         replica.engine.snapshots.advance(horizon)
+        # The skipped prefix was restored from another copy, not delivered
+        # over the network; lift the consistency checker's audit floor so it
+        # does not flag those versions as lost deliveries.
+        if replica.apply_ledger is not None and horizon > replica.apply_ledger_floor:
+            replica.apply_ledger_floor = horizon
     entries = source.writesets_since(replica.proxy.applied_version)
     if entries:
         replica.apply_remote_writesets(entries)

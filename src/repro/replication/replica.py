@@ -34,6 +34,19 @@ moves through an explicit lifecycle::
 Every continuation is fenced by the replica's epoch: a crash bumps the
 epoch, so continuations (CPU/disk completions, the certification round
 trip) scheduled before the crash are dropped when they fire.
+
+When the replica is built with an unreliable ``channel``
+(:class:`~repro.net.channel.Channel`), the certification round trip runs as
+an *at-least-once RPC*: each batch gets a per-proxy monotonically
+increasing request id, is retransmitted on timeout with capped exponential
+backoff and deterministic jitter, and is answered idempotently by the
+certifier's dedup cache (:meth:`~repro.replication.certifier.Certifier.\
+certify_rpc`), so duplication and retries never certify a writeset twice.
+While the certifier is unreachable the proxy sheds overflowing update
+transactions with ``certifier-unreachable`` aborts -- read-only
+transactions keep committing from the local snapshot, the GSI-faithful
+degradation.  Without a channel (the default) the round trip is the exact
+single ``sim.defer`` it always was, preserving seeded outputs bit for bit.
 """
 
 from __future__ import annotations
@@ -134,7 +147,7 @@ class Replica:
                  resources: ReplicaResources, certifier: Certifier,
                  disk_model: Optional[DiskModel] = None,
                  proxy_config: Optional[ProxyConfig] = None,
-                 max_retries: int = 3) -> None:
+                 max_retries: int = 3, channel=None) -> None:
         self.replica_id = replica_id
         self.sim = sim
         self.engine = engine
@@ -165,6 +178,28 @@ class Replica:
         # round trip is currently in flight.
         self._cert_queue: List[TransactionContext] = []
         self._cert_inflight = False
+        # Unreliable-network mode (repro.net): the channel this replica's
+        # certification RPCs, pulls and notifications travel over.  None --
+        # the default -- keeps the direct, loss-free defer path.
+        self.channel = channel
+        # At-least-once RPC state: ids are per-proxy monotonic and *never*
+        # reset (not even across crash/restore), so the certifier's dedup
+        # cache can tell a fresh request from a wandering retransmission.
+        self._next_request_id = 0
+        self._rpc_request_id = 0
+        self._rpc_attempt = 0
+        self._rpc_batch: Optional[List[TransactionContext]] = None
+        self._rpc_requests = None
+        self.rpc_timeouts = 0
+        self.rpc_retries = 0
+        self.rpc_stale_responses = 0
+        self.shed_unreachable = 0
+        # Consistency audit (repro.net.invariants): {version: times this
+        # replica was handed that committed writeset}.  None -- the default
+        # -- keeps the apply path free of ledger bookkeeping; the floor
+        # exempts a prefix restored out-of-band during recovery.
+        self.apply_ledger: Optional[dict] = None
+        self.apply_ledger_floor = 0
         # Elasticity: a replica can crash mid-run and be restored later.
         # The epoch fences continuations of transactions that were in flight
         # when the crash happened: events from an older epoch are dropped.
@@ -222,10 +257,21 @@ class Replica:
         everything that reaches certification while one is outstanding is
         sent together when the next one departs, amortizing the round-trip
         latency and the per-transaction event-queue traffic.
+
+        When a round trip is outstanding and the queue behind it is bounded
+        (``max_queued_certifications``, the graceful-degradation knob),
+        overflow is shed immediately as ``certifier-unreachable`` instead of
+        piling up behind a round trip that may be retrying into a partition.
         """
+        if self._cert_inflight:
+            bound = self.proxy.config.max_queued_certifications
+            if bound and len(self._cert_queue) >= bound:
+                self._shed_certification(ctx)
+                return
+            self._cert_queue.append(ctx)
+            return
         self._cert_queue.append(ctx)
-        if not self._cert_inflight:
-            self._dispatch_certification()
+        self._dispatch_certification()
 
     def _dispatch_certification(self) -> None:
         """Send one batched certification round trip (up to the batch limit)."""
@@ -236,27 +282,23 @@ class Replica:
         del queue[:limit]
         self._cert_inflight = True
         epoch = self.epoch
-        self.sim.defer(config.certification_latency_s,
-                       lambda: self._complete_certification(batch, epoch))
-
-    def _complete_certification(self, batch: List[TransactionContext],
-                                epoch: int) -> None:
-        """The batched round trip returned: certify, piggyback, deliver.
-
-        The requests are certified in FIFO order, so commit versions respect
-        the order in which this proxy's transactions reached certification.
-        The response carries every writeset committed since the proxy's
-        applied version (including this batch's own commits); applying them
-        before delivering outcomes means committed transactions leave the
-        replica current and aborted ones retry on a fresh snapshot.
-        """
-        if self.epoch != epoch or not self.alive:
-            # The replica crashed while the round trip was in flight.  The
-            # batched transactions die uncertified; their admission slots
-            # went down with the crashed controller, so dropping the batch
-            # leaks nothing.  crash() reset the batcher for the next epoch.
+        if self.channel is None:
+            self.sim.defer(config.certification_latency_s,
+                           lambda: self._complete_certification(batch, epoch))
             return
-        proxy = self.proxy
+        # RPC path: build the request writesets once, at dispatch.  Retries
+        # resend the very same objects, which is what lets the consistency
+        # checker detect a double certification as the same writeset object
+        # appearing twice in the log.
+        self._next_request_id += 1
+        self._rpc_request_id = self._next_request_id
+        self._rpc_attempt = 0
+        self._rpc_batch = batch
+        self._rpc_requests = self._build_requests(batch)
+        self._send_rpc_attempt(epoch)
+
+    def _build_requests(self, batch: List[TransactionContext]) -> list:
+        """The certification request list for one batch (FIFO order)."""
         replica_id = self.replica_id
         requests = []
         for ctx in batch:
@@ -267,8 +309,37 @@ class Replica:
                 origin_replica=replica_id,
                 snapshot_version=ctx.snapshot,
             ), ctx.snapshot))
+        return requests
+
+    def _complete_certification(self, batch: List[TransactionContext],
+                                epoch: int) -> None:
+        """The direct (loss-free) round trip returned: certify and deliver.
+
+        The requests are certified in FIFO order, so commit versions respect
+        the order in which this proxy's transactions reached certification.
+        """
+        if self.epoch != epoch or not self.alive:
+            # The replica crashed while the round trip was in flight.  The
+            # batched transactions die uncertified; their admission slots
+            # went down with the crashed controller, so dropping the batch
+            # leaks nothing.  crash() reset the batcher for the next epoch.
+            return
+        requests = self._build_requests(batch)
         results, piggyback = self.certifier.certify_batch(
-            requests, since_version=proxy.applied_version, now=self.sim.now)
+            requests, since_version=self.proxy.applied_version, now=self.sim.now)
+        self._deliver_certification(batch, results, piggyback)
+
+    def _deliver_certification(self, batch: List[TransactionContext],
+                               results, piggyback) -> None:
+        """Apply one round trip's outcome: piggyback, commits, aborts, next batch.
+
+        The response carries every writeset committed since the proxy's
+        applied version (including this batch's own commits); applying them
+        before delivering outcomes means committed transactions leave the
+        replica current and aborted ones retry on a fresh snapshot.
+        """
+        proxy = self.proxy
+        replica_id = self.replica_id
         obs = self.obs
         tracer = obs.tracer if obs is not None else None
         if tracer is not None:
@@ -331,6 +402,159 @@ class Replica:
             self._dispatch_certification()
         else:
             self._cert_inflight = False
+
+    # ------------------------------------------------------------------
+    # At-least-once certification RPC (channel mode only)
+    # ------------------------------------------------------------------
+    def _send_rpc_attempt(self, epoch: int) -> None:
+        """Transmit the current round trip (first send or a retry).
+
+        Both legs travel over the channel: the request leg runs the
+        certifier-side handler (which answers duplicates from its dedup
+        cache), the response leg delivers the decision back here.  A timeout
+        armed alongside the send drives the retransmission; it is
+        invalidated by whichever of {response, newer attempt, crash} happens
+        first.
+        """
+        self._rpc_attempt += 1
+        attempt = self._rpc_attempt
+        request_id = self._rpc_request_id
+        requests = self._rpc_requests
+        config = self.proxy.config
+        one_way = config.certification_latency_s / 2.0
+        channel = self.channel
+        certifier = self.certifier
+
+        def at_certifier() -> None:
+            results, piggyback = certifier.certify_rpc(
+                self.replica_id, request_id, requests,
+                since_version=self.proxy.applied_version, now=self.sim.now)
+            if results is None:
+                # Stale retransmission from a round trip this proxy has
+                # already resolved; the certifier refused to re-certify it.
+                return
+            channel.deliver(one_way, lambda: self._rpc_response(
+                request_id, results, piggyback, epoch))
+
+        self.sim.defer(config.rpc_timeout_s,
+                       lambda: self._rpc_timeout(request_id, attempt, epoch))
+        channel.deliver(one_way, at_certifier)
+
+    def _rpc_response(self, request_id: int, results, piggyback,
+                      epoch: int) -> None:
+        """A certification response arrived (possibly late or duplicated)."""
+        if self.epoch != epoch or not self.alive:
+            return
+        if not self._cert_inflight or request_id != self._rpc_request_id:
+            # Response to an abandoned round trip, or a duplicate of one
+            # already delivered: the decision was (or will be) honoured by
+            # the copy that won the race.
+            self.rpc_stale_responses += 1
+            obs = self.obs
+            if obs is not None:
+                obs.rpc_event(self.replica_id, "stale-response", self.sim.now,
+                              {"request_id": request_id})
+            return
+        batch = self._rpc_batch
+        self._rpc_batch = None
+        self._rpc_requests = None
+        self._deliver_certification(batch, results, piggyback)
+
+    def _rpc_timeout(self, request_id: int, attempt: int, epoch: int) -> None:
+        """No response within ``rpc_timeout_s``: back off and retransmit."""
+        if self.epoch != epoch or not self.alive:
+            return
+        if not self._cert_inflight or request_id != self._rpc_request_id:
+            return      # the response made it; this timer is stale
+        if attempt != self._rpc_attempt:
+            return      # a newer attempt is out with its own timer
+        self.rpc_timeouts += 1
+        obs = self.obs
+        if obs is not None:
+            obs.rpc_event(self.replica_id, "timeout", self.sim.now,
+                          {"request_id": request_id, "attempt": attempt})
+        config = self.proxy.config
+        if config.rpc_max_attempts and attempt >= config.rpc_max_attempts:
+            # Certifier declared unreachable: shed the batch so the
+            # admission slots it holds go back to (read-only) transactions
+            # that can still make progress locally.
+            self._abandon_certification()
+            return
+        self.rpc_retries += 1
+        self.sim.defer(self._backoff_delay(attempt, request_id),
+                       lambda: self._rpc_retry(request_id, attempt, epoch))
+
+    def _rpc_retry(self, request_id: int, attempt: int, epoch: int) -> None:
+        """The backoff elapsed: retransmit unless the round trip resolved."""
+        if self.epoch != epoch or not self.alive:
+            return
+        if not self._cert_inflight or request_id != self._rpc_request_id:
+            return
+        if attempt != self._rpc_attempt:
+            return
+        obs = self.obs
+        if obs is not None:
+            obs.rpc_event(self.replica_id, "retry", self.sim.now,
+                          {"request_id": request_id, "attempt": attempt + 1})
+        self._send_rpc_attempt(epoch)
+
+    def _backoff_delay(self, attempt: int, request_id: int) -> float:
+        """Capped exponential backoff with deterministic jitter.
+
+        The jitter decorrelates the proxies' retry storms after a shared
+        partition heals without consuming any RNG stream (seeded outputs of
+        fault-free channel runs stay reproducible): a hash of (request id,
+        replica id, attempt) spreads delays over [delay, 1.25 * delay).
+        """
+        config = self.proxy.config
+        delay = config.rpc_backoff_base_s * (2 ** (attempt - 1))
+        cap = config.rpc_backoff_cap_s
+        if delay > cap:
+            delay = cap
+        mix = (request_id * 2654435761) ^ (self.replica_id * 40503) ^ attempt
+        return delay * (1.0 + (mix % 1024) / 4096.0)
+
+    def _abandon_certification(self) -> None:
+        """Shed the in-flight batch: the certifier is unreachable.
+
+        Its certification state is discarded *before* the contexts finish so
+        a freed admission slot cannot race with it; if more updates queued
+        behind the abandoned round trip, the next batch departs immediately
+        (its own retries will probe the link).
+        """
+        batch = self._rpc_batch
+        self._rpc_batch = None
+        self._rpc_requests = None
+        for ctx in batch:
+            self._shed_certification(ctx)
+        if self._cert_queue:
+            self._dispatch_certification()
+        else:
+            self._cert_inflight = False
+
+    def _shed_certification(self, ctx: TransactionContext) -> None:
+        """Fail one update transaction with ``certifier-unreachable``.
+
+        Not a certification abort (the certifier never saw it), so the
+        golden-pinned ``aborts`` counter is untouched; the failure lands in
+        the abort-reason taxonomy and the client re-issues.  Read-only
+        transactions never pass through here -- they keep committing from
+        the local snapshot while the link is down.
+        """
+        self.shed_unreachable += 1
+        if self.metrics is not None:
+            self.metrics.record_failure("certifier-unreachable")
+        obs = self.obs
+        if obs is not None:
+            obs.rpc_event(self.replica_id, "shed", self.sim.now,
+                          {"txn_id": ctx.txn_id})
+            if ctx.trace is not None:
+                obs.tracer.instant("abort", "txn", self.sim.now,
+                                   self.replica_id, ctx.trace.txn_id,
+                                   args={"reason": "certifier-unreachable",
+                                         "attempt": ctx.attempt})
+        self.engine.snapshots.finish(ctx.txn_id)
+        self._finish(ctx, committed=False, already_closed=True)
 
     def _finish(self, ctx: TransactionContext, committed: bool,
                 already_closed: bool = False) -> None:
@@ -403,6 +627,11 @@ class Replica:
         self.proxy.admission = AdmissionController(self.proxy.config.max_concurrency)
         self._cert_queue = []
         self._cert_inflight = False
+        # The in-flight RPC batch dies with its admission slots; its timers
+        # and late responses are fenced by the epoch.  Request ids stay
+        # monotonic so post-restore round trips cannot look stale.
+        self._rpc_batch = None
+        self._rpc_requests = None
         self.engine.snapshots.abort_open()
 
     # ------------------------------------------------------------------
@@ -424,6 +653,7 @@ class Replica:
         proxy = self.proxy
         engine = self.engine
         replica_id = self.replica_id
+        ledger = self.apply_ledger
         to_apply = None
         applied_version = proxy.applied_version
         for entry in entries:
@@ -432,6 +662,11 @@ class Replica:
                 continue
             writeset = entry.writeset
             if writeset.origin_replica != replica_id:
+                if ledger is not None:
+                    # Consistency audit: count the delivery before filtering
+                    # (the checker verifies exactly-once *delivery*; what
+                    # the filter then drops is policy, not loss).
+                    ledger[version] = ledger.get(version, 0) + 1
                 if to_apply is None:
                     to_apply = [writeset]
                 else:
@@ -473,6 +708,11 @@ class Replica:
         pull-source breakdown).  A crashed or retired replica pulls nothing.
         """
         if not self.alive:
+            return 0
+        channel = self.channel
+        if channel is not None and not channel.pull_allowed():
+            # Partitioned or the exchange was lost; the periodic pull loop
+            # is the retry, so nothing further to arrange.
             return 0
         entries = self.certifier.writesets_since(self.proxy.applied_version)
         if entries:

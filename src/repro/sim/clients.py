@@ -147,10 +147,13 @@ class ClientPopulation:
 
         Growing spawns new client loops (and wakes parked ones) immediately;
         shrinking is graceful: excess clients finish their in-flight
-        transaction and then park instead of issuing another.
+        transaction and then park instead of issuing another.  ``count=0``
+        quiesces the population entirely -- every client parks after its
+        in-flight transaction -- which is how the chaos harness drains the
+        cluster before auditing consistency invariants.
         """
-        if count <= 0:
-            raise ValueError("client count must be positive")
+        if count < 0:
+            raise ValueError("client count cannot be negative")
         self._active_target = count
         if not self._started:
             return

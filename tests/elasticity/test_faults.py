@@ -74,3 +74,117 @@ def test_failover_requires_a_replicated_certifier():
     injector = FaultInjector(cluster, seed=1)
     with pytest.raises(RuntimeError):
         injector.schedule_certifier_failover(5.0)
+
+
+# ----------------------------------------------------------------------
+# Network faults (partitions, flaky links) and restart skip-safety
+# ----------------------------------------------------------------------
+def make_networked_cluster(replicas=3, backups=0):
+    from repro.net.channel import NetworkConfig
+    return ReplicatedCluster(
+        workload=make_tiny_workload(),
+        balancer=LeastConnectionsBalancer(),
+        config=ClusterConfig(num_replicas=replicas, replica_ram_bytes=mb(192),
+                             clients_per_replica=4, think_time_s=0.05,
+                             certifier_backups=backups, seed=5,
+                             network=NetworkConfig()),
+        mix="balanced")
+
+
+def test_restart_is_skip_safe_when_target_was_already_restored():
+    cluster = make_cluster()
+    injector = FaultInjector(cluster, seed=2)
+    # Crash with a long downtime, but somebody restores the replica first.
+    injector.schedule_crash(5.0, replica_id=1, downtime_s=10.0)
+    cluster.sim.schedule_at(8.0, lambda: cluster.membership.restore_replica(1))
+    cluster.run(duration_s=20.0)
+    kinds = [r.kind for r in injector.records]
+    assert kinds == ["crash", "skipped"]
+    assert "no longer crashed" in injector.records[-1].detail
+    assert 1 in cluster.replica_ids()
+
+
+def test_scheduled_partition_heals_itself_after_duration():
+    cluster = make_networked_cluster()
+    injector = FaultInjector(cluster, seed=2)
+    injector.schedule_partition(5.0, replica_id=1, duration_s=4.0)
+    cluster.run(duration_s=20.0)
+    kinds = [r.kind for r in injector.records]
+    assert kinds == ["partition", "heal"]
+    assert injector.records[0].replica_id == 1
+    assert injector.records[1].time == pytest.approx(9.0)
+    assert cluster.network.partitioned_ids() == ()
+    # After healing, the replica caught back up.
+    cluster.replicas[1].pull_updates()
+    assert cluster.replicas[1].proxy.applied_version == \
+        cluster.certifier.current_version
+
+
+def test_network_faults_require_the_network_model():
+    cluster = make_cluster()
+    injector = FaultInjector(cluster, seed=1)
+    with pytest.raises(RuntimeError):
+        injector.schedule_partition(5.0)
+    with pytest.raises(RuntimeError):
+        injector.schedule_heal(5.0)
+    with pytest.raises(RuntimeError):
+        injector.schedule_flaky_link(5.0, 2.0)
+
+
+def test_flaky_link_window_degrades_then_restores():
+    cluster = make_networked_cluster()
+    injector = FaultInjector(cluster, seed=2)
+    injector.schedule_flaky_link(5.0, 6.0, replica_id=0,
+                                 drop_probability=0.4, jitter_s=0.002)
+    cluster.run(duration_s=20.0)
+    kinds = [r.kind for r in injector.records]
+    assert kinds == ["flaky-link", "link-restored"]
+    assert "drop=0.400" in injector.records[0].detail
+    assert injector.records[1].time == pytest.approx(11.0)
+    channel = cluster.network.link(0)
+    assert channel.config.drop_probability == 0.0       # base config is back
+    assert channel.stats.dropped > 0                    # the window did bite
+
+
+def test_heal_all_records_every_partitioned_link():
+    cluster = make_networked_cluster()
+    injector = FaultInjector(cluster, seed=2)
+    injector.schedule_partition(4.0, replica_id=0)
+    injector.schedule_partition(4.0, replica_id=2)
+    injector.schedule_heal(8.0)
+    cluster.run(duration_s=12.0)
+    heal = injector.records_of_kind("heal")[-1]
+    assert "[0, 2]" in heal.detail
+    assert cluster.network.partitioned_ids() == ()
+
+
+def test_notifications_resume_after_crash_and_restart():
+    # Regression: a crash used to leave the replica's entry in the
+    # cluster's one-in-flight notification dedup set, so after the restart
+    # no lag notification was ever delivered again and the replica only
+    # caught up through slow periodic pulls.
+    cluster = make_networked_cluster()
+    injector = FaultInjector(cluster, seed=2)
+    injector.schedule_crash(6.0, replica_id=1, downtime_s=4.0)
+    cluster.run(duration_s=30.0)
+    assert 1 not in cluster._notify_pending or not cluster._notify_pending
+    replica = cluster.replicas[1]
+    # The recovered replica re-subscribed at its recovered cursor and kept
+    # receiving commit notifications: its lag stays within the threshold.
+    assert replica.lag <= cluster.certifier.lag_notification_threshold
+
+
+def test_dropped_notification_releases_the_dedup_slot():
+    # A notification lost on the wire must clear the one-in-flight marker
+    # synchronously, or the replica would never be notified again.
+    cluster = make_networked_cluster()
+    cluster.start()
+    cluster.sim.run_until(5.0)
+    cluster.network.partition(1)        # notifications to 1 now drop
+    cluster.sim.run_until(10.0)
+    assert 1 not in cluster._notify_pending
+    cluster.network.heal(1)
+    cluster.sim.run_until(20.0)
+    cluster.replicas[1].pull_updates()
+    assert cluster.replicas[1].proxy.applied_version == \
+        cluster.certifier.current_version

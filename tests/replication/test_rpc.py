@@ -1,0 +1,230 @@
+"""Tests for the at-least-once certification RPC and graceful degradation.
+
+Covers the certifier-side idempotent dedup cache (fresh / duplicate / stale
+request handling, window eviction, fail-over survival), the proxy-side
+timeout/retry/shed machinery over unreliable channels, and the cluster-level
+degradation contract: a partitioned replica sheds update transactions as
+``certifier-unreachable`` while its read-only transactions keep committing.
+"""
+
+import pytest
+
+from repro.core.baselines import LeastConnectionsBalancer
+from repro.net.channel import ChannelConfig, NetworkConfig
+from repro.net.invariants import ConsistencyChecker
+from repro.replication.certifier import RPC_DEDUP_WINDOW, Certifier
+from repro.replication.cluster import ClusterConfig, ReplicatedCluster
+from repro.replication.proxy import ProxyConfig
+from repro.replication.recovery import ReplicatedCertifierLog
+from repro.replication.writeset import WriteItem, WriteSet
+from repro.storage.pages import mb
+
+from tests.conftest import make_tiny_workload
+
+
+def ws(key, origin=0):
+    return WriteSet(
+        transaction_type="T",
+        items=(WriteItem(relation="orders", keys=(key,), payload_bytes=50,
+                         pages_dirtied=1),),
+        origin_replica=origin)
+
+
+def make_cluster(replicas=3, link=None, net_seed=0, proxy=None, mix="balanced",
+                 **kwargs):
+    config = ClusterConfig(
+        num_replicas=replicas, replica_ram_bytes=mb(128),
+        clients_per_replica=4, think_time_s=0.1, seed=2,
+        log_truncation_interval_s=0.0,
+        proxy=proxy or ProxyConfig(),
+        network=NetworkConfig(link=link or ChannelConfig(), seed=net_seed),
+        **kwargs)
+    return ReplicatedCluster(workload=make_tiny_workload(),
+                             balancer=LeastConnectionsBalancer(),
+                             config=config, mix=mix)
+
+
+def quiesce_and_audit(cluster, checker, duration_s):
+    cluster.sim.schedule_at(duration_s - 6.0,
+                            lambda: cluster.clients.set_active_clients(0))
+    run = cluster.run(duration_s=duration_s, warmup_s=2.0)
+    if cluster.network is not None:
+        cluster.network.heal_all()
+    for replica in cluster.replicas.values():
+        replica.pull_updates()
+    checker.check().raise_if_violated()
+    return run
+
+
+# ----------------------------------------------------------------------
+# Certifier-side dedup cache semantics
+# ----------------------------------------------------------------------
+def test_certify_rpc_fresh_request_certifies_and_caches():
+    certifier = Certifier()
+    results, piggyback = certifier.certify_rpc(
+        origin_replica=0, request_id=1, requests=[(ws(1), 0)], since_version=0)
+    assert len(results) == 1
+    assert certifier.current_version == 1
+    assert certifier.stats.dedup_hits == 0
+
+
+def test_certify_rpc_duplicate_returns_cached_results_without_recertifying():
+    certifier = Certifier()
+    first, _ = certifier.certify_rpc(0, 1, [(ws(1), 0)], 0)
+    version = certifier.current_version
+    again, piggyback = certifier.certify_rpc(0, 1, [(ws(1), 0)], 0)
+    assert again is first                       # the cached decision, verbatim
+    assert certifier.current_version == version  # nothing re-certified
+    assert certifier.stats.dedup_hits == 1
+    # The piggyback is fresh, not cached: a duplicate still advances the
+    # requester's view of the log.
+    assert [e.version for e in piggyback] == [1]
+
+
+def test_certify_rpc_stale_request_is_refused():
+    certifier = Certifier()
+    # Advance the per-origin window far enough to evict request 1.
+    for rid in range(1, RPC_DEDUP_WINDOW + 2):
+        certifier.certify_rpc(0, rid, [(ws(rid), certifier.current_version)], 0)
+    version = certifier.current_version
+    results, piggyback = certifier.certify_rpc(0, 1, [(ws(999), 0)], 0)
+    assert results is None
+    assert piggyback == []
+    assert certifier.current_version == version
+    assert certifier.stats.stale_requests == 1
+
+
+def test_certify_rpc_dedup_windows_are_per_origin():
+    certifier = Certifier()
+    a, _ = certifier.certify_rpc(0, 1, [(ws(1, origin=0), 0)], 0)
+    b, _ = certifier.certify_rpc(1, 1, [(ws(2, origin=1), 0)], 0)
+    assert certifier.current_version == 2       # same id, different origins
+    assert certifier.stats.dedup_hits == 0
+    again, _ = certifier.certify_rpc(1, 1, [(ws(2, origin=1), 0)], 0)
+    assert again is b
+    assert certifier.stats.dedup_hits == 1
+
+
+def test_certify_rpc_window_is_bounded():
+    certifier = Certifier()
+    for rid in range(1, RPC_DEDUP_WINDOW * 3):
+        certifier.certify_rpc(0, rid, [(ws(rid), certifier.current_version)], 0)
+    assert len(certifier.rpc_cache[0]["window"]) <= RPC_DEDUP_WINDOW
+
+
+# ----------------------------------------------------------------------
+# Fail-over: the dedup cache survives on the replicated wrapper
+# ----------------------------------------------------------------------
+def test_failover_answers_inflight_batch_from_cache():
+    # Satellite: a batch certified by the old leader, retried (duplicate
+    # delivery, timeout) across a fail-over, must be answered idempotently
+    # by the new leader -- same results object, nothing certified twice.
+    log = ReplicatedCertifierLog.create(num_backups=2)
+    first, _ = log.certify_rpc(0, 1, [(ws(1), 0)], 0)
+    version = log.current_version
+    log.fail_over(leader_failed=True)
+    again, piggyback = log.certify_rpc(0, 1, [(ws(1), 0)], 0)
+    assert again is first
+    assert log.current_version == version
+    assert log.leader.log_is_total_order()
+    # The dedup-hit counter transferred with the cache to the new leader.
+    assert log.stats.dedup_hits == 1
+    # A genuinely new request still certifies normally afterwards.
+    fresh, _ = log.certify_rpc(0, 2, [(ws(2), log.current_version)], 0)
+    assert log.current_version == version + 1
+
+
+def test_failover_transfers_accumulated_dedup_counters():
+    log = ReplicatedCertifierLog.create(num_backups=1)
+    log.certify_rpc(0, 1, [(ws(1), 0)], 0)
+    log.certify_rpc(0, 1, [(ws(1), 0)], 0)      # dedup hit on the old leader
+    assert log.stats.dedup_hits == 1
+    log.fail_over(leader_failed=True)
+    assert log.stats.dedup_hits == 1            # not reset by the promotion
+
+
+# ----------------------------------------------------------------------
+# Cluster-level RPC behaviour over channels
+# ----------------------------------------------------------------------
+def test_perfect_channel_run_commits_without_retries():
+    cluster = make_cluster()
+    checker = ConsistencyChecker(cluster)
+    run = quiesce_and_audit(cluster, checker, 30.0)
+    assert run.metrics.completed > 50
+    assert sum(r.rpc_timeouts for r in cluster.replicas.values()) == 0
+    assert cluster.certifier.stats.dedup_hits == 0
+
+
+def test_lossy_channel_retries_until_certified():
+    cluster = make_cluster(link=ChannelConfig(drop_probability=0.25),
+                           net_seed=5)
+    checker = ConsistencyChecker(cluster)
+    run = quiesce_and_audit(cluster, checker, 30.0)
+    replicas = cluster.replicas.values()
+    assert sum(r.rpc_timeouts for r in replicas) > 0
+    assert sum(r.rpc_retries for r in replicas) > 0
+    assert run.metrics.updates_completed > 0
+
+
+def test_duplicating_channel_hits_the_dedup_cache():
+    cluster = make_cluster(link=ChannelConfig(duplicate_probability=0.5),
+                           net_seed=5)
+    checker = ConsistencyChecker(cluster)
+    quiesce_and_audit(cluster, checker, 30.0)
+    assert cluster.certifier.stats.dedup_hits > 0
+
+
+def test_partitioned_replica_sheds_updates_but_serves_reads():
+    proxy = ProxyConfig(rpc_max_attempts=4, max_queued_certifications=8)
+    cluster = make_cluster(proxy=proxy)
+    checker = ConsistencyChecker(cluster)
+    during = {}
+
+    def start_partition():
+        cluster.network.partition(0)
+        during["before"] = dict(cluster.metrics.completions_by_replica())
+
+    def end_partition():
+        during["after"] = dict(cluster.metrics.completions_by_replica())
+        cluster.network.heal(0)
+
+    cluster.sim.schedule_at(10.0, start_partition)
+    cluster.sim.schedule_at(22.0, end_partition)
+    run = quiesce_and_audit(cluster, checker, 36.0)
+
+    replica = cluster.replicas[0]
+    assert replica.shed_unreachable > 0
+    assert run.metrics.abort_reasons.get("certifier-unreachable", 0) > 0
+    # Read-only transactions on the partitioned replica kept committing.
+    assert during["after"].get(0, 0) > during["before"].get(0, 0)
+    # Shedding is degradation, not certification aborting: the golden-pinned
+    # certification-abort counter must not absorb unreachable sheds.
+    assert replica.shed_unreachable not in (None, 0)
+
+
+def test_infinite_attempts_outlive_a_short_partition():
+    # rpc_max_attempts=0 retries forever; a partition shorter than the run
+    # just delays certification instead of shedding anything.
+    proxy = ProxyConfig(rpc_max_attempts=0)
+    cluster = make_cluster(proxy=proxy)
+    checker = ConsistencyChecker(cluster)
+    cluster.sim.schedule_at(10.0, lambda: cluster.network.partition(1))
+    cluster.sim.schedule_at(14.0, lambda: cluster.network.heal(1))
+    quiesce_and_audit(cluster, checker, 30.0)
+    assert cluster.replicas[1].shed_unreachable == 0
+    assert cluster.replicas[1].rpc_retries > 0
+
+
+def test_request_ids_stay_monotonic_across_crash_and_restore():
+    cluster = make_cluster()
+    ConsistencyChecker(cluster)
+    cluster.start()
+    cluster.sim.run_until(10.0)
+    replica = cluster.replicas[1]
+    issued_before = replica._next_request_id
+    cluster.membership.crash_replica(1)
+    cluster.sim.run_until(15.0)
+    cluster.membership.restore_replica(1)
+    cluster.sim.run_until(25.0)
+    assert cluster.replicas[1] is replica
+    assert replica._next_request_id >= issued_before
