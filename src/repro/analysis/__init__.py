@@ -1,0 +1,89 @@
+"""simlint: static enforcement of the simulator's determinism & hot-path contracts.
+
+Seven PRs of hot-path work, fault injection and zero-overhead observability
+rest on a small set of load-bearing invariants: the sim clock is the only
+time source, every RNG stream derives from ``config.seed``, nothing iterates
+a set into an order-sensitive sink, the None-default observability slots are
+touched only behind ``is not None`` guards, hot-path classes carry
+``__slots__``, and float equality never gates an invariant.  Until now these
+were enforced only *after* the fact, by the seeded golden tests -- which can
+tell you THAT determinism broke, but not where.  This package is the static
+half: an AST pass that localizes a violation to a file and line before any
+golden suite runs.
+
+Rules
+-----
+
+====  ================================================================
+D1    Wall-clock ban: ``time.time``/``perf_counter``/``datetime.now``
+      and friends are forbidden everywhere -- simulated time comes from
+      ``Simulator.now``.
+D2    Unseeded/global RNG ban: module-level ``random.*`` calls and bare
+      ``random.Random()`` without a seed expression; every stream must
+      derive from ``config.seed``.
+D3    Iteration-order hazard: iterating a ``set``/``frozenset`` of
+      non-literal origin into an order-sensitive sink (event scheduling,
+      list building, heap pushes) without ``sorted()``.
+O1    Zero-overhead contract: chaining through the None-default
+      observability slots (``ctx.trace``, ``replica.obs``,
+      ``cluster.observability``, ``BufferPool.on_evict``) requires a
+      dominating ``is not None`` guard in the enclosing function.
+S1    ``__slots__`` coverage for classes defined in the hot modules
+      (``sim/``, ``storage/``, ``replication/``, ``core/routing.py``),
+      with exemptions for dataclasses/enums/exceptions and an explicit
+      control-plane allowlist.
+F1    Float ``==``/``!=`` in the invariant-auditing and
+      golden-comparison modules.
+====  ================================================================
+
+Suppressions: append ``# simlint: disable=RULE`` (comma-separated ids, or
+``all``) to the offending line, with a justification comment.  Suppressed
+findings are counted and reported, never silently dropped.
+
+Run ``python -m repro.analysis`` (optionally with paths and ``--json``), or
+use :func:`analyze_paths` / :func:`analyze_source` from tests.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    ModuleSource,
+    Report,
+    analyze_modules,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    package_relpath,
+)
+from repro.analysis.rules import (
+    ALL_RULES,
+    RULE_DOCS,
+    Rule,
+    RuleD1WallClock,
+    RuleD2UnseededRng,
+    RuleD3SetIteration,
+    RuleO1ObsGuard,
+    RuleS1Slots,
+    RuleF1FloatEquality,
+    default_rules,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "ModuleSource",
+    "Report",
+    "RULE_DOCS",
+    "Rule",
+    "RuleD1WallClock",
+    "RuleD2UnseededRng",
+    "RuleD3SetIteration",
+    "RuleO1ObsGuard",
+    "RuleS1Slots",
+    "RuleF1FloatEquality",
+    "analyze_modules",
+    "analyze_paths",
+    "analyze_source",
+    "default_rules",
+    "iter_python_files",
+    "package_relpath",
+]

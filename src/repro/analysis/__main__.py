@@ -1,0 +1,91 @@
+"""CLI for simlint: ``python -m repro.analysis [paths...] [--json FILE]``.
+
+Exit codes: 0 clean (suppressed findings allowed), 1 unsuppressed findings,
+2 analysis errors (unparseable file, unknown rule id, bad path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.core import Report, analyze_paths
+from repro.analysis.rules import RULE_DOCS, default_rules
+
+
+def _default_target() -> str:
+    """The installed ``repro`` package directory (works from any cwd)."""
+    import repro
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="simlint: determinism & hot-path linter for the repro "
+                    "simulator (rules D1 D2 D3 O1 S1 F1).")
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze (default: the repro package)")
+    parser.add_argument(
+        "--json", metavar="FILE", dest="json_path",
+        help="write the full report (including suppressed findings) as JSON")
+    parser.add_argument(
+        "--rules", metavar="IDS",
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit")
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-finding output; print only the summary line")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULE_DOCS):
+            print("%s  %s" % (rule_id, RULE_DOCS[rule_id]))
+        return 0
+
+    try:
+        rules = default_rules(
+            [part.strip() for part in args.rules.split(",") if part.strip()]
+            if args.rules else None)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+    paths: List[str] = list(args.paths) or [_default_target()]
+    for path in paths:
+        if not os.path.exists(path):
+            print("error: no such path: %s" % path, file=sys.stderr)
+            return 2
+
+    report: Report = analyze_paths(paths, rules)
+
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(RULE_DOCS), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+
+    if not args.quiet:
+        for finding in report.findings:
+            print(finding.format())
+        for error in report.errors:
+            print("error: %s" % error, file=sys.stderr)
+    print(report.summary())
+
+    if report.errors:
+        return 2
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,251 @@
+"""simlint core: findings, suppression parsing, module loading and reports.
+
+The analysis operates on :class:`ModuleSource` objects -- one parsed file
+plus its comment-derived suppression table -- and produces
+:class:`Finding`s.  A finding lands on a source line; if that line carries a
+``# simlint: disable=<RULE>`` comment the finding is *suppressed*: it stays
+in the report (counted, listed in the JSON artifact) but does not fail the
+run.  Suppression comments are extracted with :mod:`tokenize`, so the
+directive is recognised only in real comments, never inside string literals.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: JSON artifact schema version (bump on incompatible changes).
+SCHEMA_VERSION = 1
+
+#: The comment directive: ``# simlint: disable=D1`` / ``disable=D1,O1`` /
+#: ``disable=all``.
+_DIRECTIVE = "simlint:"
+
+#: Wildcard rule id accepted in a disable list.
+SUPPRESS_ALL = "all"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file and line."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    def format(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        return "%s:%d:%d: %s %s%s" % (
+            self.path, self.line, self.col, self.rule, self.message, mark)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def parse_suppressions(text: str) -> Dict[int, frozenset]:
+    """Extract ``# simlint: disable=...`` directives per line.
+
+    Returns ``{lineno: frozenset of rule ids}`` where the special id
+    ``"all"`` suppresses every rule on that line.  Only genuine comment
+    tokens count; the directive text appearing inside a string (for example
+    in this docstring) is ignored.
+    """
+    out: Dict[int, frozenset] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            comment = tok.string.lstrip("#").strip()
+            marker = comment.find(_DIRECTIVE)
+            if marker < 0:
+                continue
+            directive = comment[marker + len(_DIRECTIVE):].strip()
+            if not directive.startswith("disable="):
+                continue
+            spec = directive[len("disable="):].split()[0] if directive[len("disable="):] else ""
+            rules = frozenset(
+                part.strip() for part in spec.split(",") if part.strip())
+            if rules:
+                existing = out.get(tok.start[0], frozenset())
+                out[tok.start[0]] = existing | rules
+    except tokenize.TokenError:
+        pass
+    return out
+
+
+class ModuleSource:
+    """One parsed Python file plus its suppression table.
+
+    ``relpath`` is the path relative to the ``repro`` package root (e.g.
+    ``"sim/events.py"``); path-scoped rules (S1, F1) key off it.  Tests
+    construct fixtures with an explicit ``relpath`` to place a snippet in or
+    out of a rule's scope.
+    """
+
+    def __init__(self, text: str, path: str = "<string>",
+                 relpath: Optional[str] = None) -> None:
+        self.text = text
+        self.path = path
+        self.relpath = relpath if relpath is not None else os.path.basename(path)
+        self.tree = ast.parse(text, filename=path)
+        self.suppressions = parse_suppressions(text)
+
+    @classmethod
+    def from_file(cls, path: str, relpath: Optional[str] = None) -> "ModuleSource":
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        if relpath is None:
+            relpath = package_relpath(path)
+        return cls(text, path=path, relpath=relpath)
+
+    def suppressed_rules_at(self, line: int) -> frozenset:
+        return self.suppressions.get(line, frozenset())
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        if not rules:
+            return False
+        return rule in rules or SUPPRESS_ALL in rules
+
+
+@dataclass
+class Report:
+    """The outcome of one analysis run over a set of modules."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_analyzed: int = 0
+    paths: List[str] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Finding]:
+        """Unsuppressed findings (the ones that fail the run)."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active and not self.errors
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_json(self, rule_docs: Optional[Dict[str, str]] = None) -> Dict[str, object]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "tool": "simlint",
+            "paths": list(self.paths),
+            "files_analyzed": self.files_analyzed,
+            "rules": dict(rule_docs or {}),
+            "findings": [f.to_json() for f in self.active],
+            "suppressed": [f.to_json() for f in self.suppressed],
+            "errors": list(self.errors),
+            "counts": {
+                "findings": len(self.active),
+                "suppressed": len(self.suppressed),
+                "by_rule": self.counts_by_rule(),
+            },
+        }
+
+    def summary(self) -> str:
+        return ("%d file(s): %d finding(s), %d suppressed"
+                % (self.files_analyzed, len(self.active), len(self.suppressed)))
+
+
+def package_relpath(path: str) -> str:
+    """Path relative to the innermost ``repro`` package directory.
+
+    ``/root/repo/src/repro/sim/events.py`` -> ``sim/events.py``; files
+    outside a ``repro`` tree keep their basename-relative tail unchanged.
+    """
+    parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i + 1:])
+    return os.path.basename(path)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield ``.py`` files under each path (files pass through), sorted."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames.sort()
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def analyze_modules(modules: Iterable[ModuleSource],
+                    rules: Sequence["Rule"]) -> Report:  # noqa: F821
+    """Run every rule over every module, applying per-line suppressions."""
+    report = Report()
+    for module in modules:
+        report.files_analyzed += 1
+        for rule in rules:
+            for finding in rule.check(module):
+                if module.is_suppressed(finding.rule, finding.line):
+                    finding = Finding(
+                        rule=finding.rule, path=finding.path,
+                        line=finding.line, col=finding.col,
+                        message=finding.message, suppressed=True)
+                report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
+
+
+def analyze_paths(paths: Sequence[str],
+                  rules: Optional[Sequence["Rule"]] = None) -> Report:  # noqa: F821
+    """Analyze every Python file under ``paths`` with ``rules``.
+
+    Unparseable files are recorded in ``Report.errors`` (and fail the run)
+    instead of being skipped silently.
+    """
+    from repro.analysis.rules import default_rules
+    if rules is None:
+        rules = default_rules()
+    modules: List[ModuleSource] = []
+    errors: List[str] = []
+    for filename in iter_python_files(paths):
+        try:
+            modules.append(ModuleSource.from_file(filename))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            errors.append("%s: %s" % (filename, exc))
+    report = analyze_modules(modules, rules)
+    report.paths = [os.path.abspath(p) for p in paths]
+    report.errors.extend(errors)
+    return report
+
+
+def analyze_source(text: str, relpath: str = "fixture.py",
+                   rules: Optional[Sequence["Rule"]] = None,
+                   ) -> List[Finding]:  # noqa: F821
+    """Analyze one source snippet (the fixture-test entry point)."""
+    from repro.analysis.rules import default_rules
+    if rules is None:
+        rules = default_rules()
+    module = ModuleSource(text, path=relpath, relpath=relpath)
+    return analyze_modules([module], rules).findings

@@ -31,7 +31,7 @@ simulator's ground truth.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict, FrozenSet, Iterable, Tuple
 
 from repro.sim.monitor import LoadSample
 
@@ -66,7 +66,7 @@ class RoutingTable:
         #: replica resolves, after which purge_replica erases them.
         self.outstanding: Dict[int, int] = {}
         self._live: Tuple[int, ...] = ()
-        self._live_set: frozenset = frozenset()
+        self._live_set: FrozenSet[int] = frozenset()
         self._samples: Dict[int, LoadSample] = {}
         # rid -> (outstanding-at-build, sample-at-build, effective LoadSample).
         self._eff_cache: Dict[int, Tuple[int, LoadSample, LoadSample]] = {}
@@ -115,7 +115,7 @@ class RoutingTable:
         change, never per dispatch."""
         return self._live
 
-    def replica_id_set(self) -> frozenset:
+    def replica_id_set(self) -> FrozenSet[int]:
         """The live ids as a frozenset, for O(1) membership tests (LARD)."""
         return self._live_set
 

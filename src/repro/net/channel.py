@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from random import Random
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.sim.simulator import Simulator
 
@@ -247,13 +247,13 @@ class Network:
         """Reset a link to the network's base configuration."""
         self.link(replica_id).set_config(self.config.link)
 
-    def partitioned_ids(self):
+    def partitioned_ids(self) -> Tuple[int, ...]:
         return tuple(sorted(rid for rid, ch in self.links.items() if ch.partitioned))
 
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> Dict[str, int]:
         """Aggregate delivery counters over every link."""
         totals = {"sent": 0, "delivered": 0, "dropped": 0,
                   "dropped_partition": 0, "duplicated": 0, "reordered": 0,

@@ -38,7 +38,11 @@ so every replica -- including later joiners -- carries a ledger::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.replication.cluster import ReplicatedCluster
+    from repro.replication.replica import Replica
 
 #: Violation.replica_id when the finding is not about one replica.
 NO_REPLICA = -1
@@ -95,14 +99,14 @@ class ConsistencyChecker:
     stays on its zero-overhead fast path.
     """
 
-    def __init__(self, cluster) -> None:
+    def __init__(self, cluster: "ReplicatedCluster") -> None:
         self.cluster = cluster
         cluster.consistency = self
         for replica in cluster.replicas.values():
             self.arm(replica)
 
     @staticmethod
-    def arm(replica) -> None:
+    def arm(replica: "Replica") -> None:
         """Give ``replica`` an apply ledger (idempotent)."""
         if replica.apply_ledger is None:
             replica.apply_ledger = {}
@@ -135,7 +139,7 @@ class ConsistencyChecker:
         report.checked["replicas"] = len(replicas)
         return report
 
-    def _auditable_replicas(self) -> List[object]:
+    def _auditable_replicas(self) -> List["Replica"]:
         """Live replicas plus crashed/draining ones that may still return."""
         cluster = self.cluster
         replicas = list(cluster.replicas.values())
@@ -154,7 +158,8 @@ class ConsistencyChecker:
     # ------------------------------------------------------------------
     # Individual invariants
     # ------------------------------------------------------------------
-    def _check_log(self, report: InvariantReport, certifier, leader) -> None:
+    def _check_log(self, report: InvariantReport, certifier: Any,
+                   leader: Any) -> None:
         if not leader.log_is_total_order():
             report.violations.append(Violation(
                 "log-total-order",
@@ -190,8 +195,8 @@ class ConsistencyChecker:
                     "log-total-order",
                     "backup %d log versions are not dense and increasing" % i))
 
-    def _check_replica_prefix(self, report: InvariantReport, replica,
-                              certifier) -> None:
+    def _check_replica_prefix(self, report: InvariantReport,
+                              replica: "Replica", certifier: Any) -> None:
         applied = replica.proxy.applied_version
         if applied > certifier.current_version:
             report.violations.append(Violation(
@@ -207,8 +212,8 @@ class ConsistencyChecker:
                 % (snapshot_applied, applied),
                 replica.replica_id))
 
-    def _check_apply_ledger(self, report: InvariantReport, replica,
-                            leader) -> None:
+    def _check_apply_ledger(self, report: InvariantReport,
+                            replica: "Replica", leader: Any) -> None:
         ledger = replica.apply_ledger
         if ledger is None:
             report.violations.append(Violation(
@@ -258,7 +263,8 @@ class ConsistencyChecker:
         report.checked["ledger_entries"] = \
             report.checked.get("ledger_entries", 0) + audited
 
-    def _check_replica_quiesced(self, report: InvariantReport, replica) -> None:
+    def _check_replica_quiesced(self, report: InvariantReport,
+                                replica: "Replica") -> None:
         replica_id = replica.replica_id
         if replica._cert_inflight or replica._cert_queue:
             report.violations.append(Violation(

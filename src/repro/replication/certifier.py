@@ -64,6 +64,21 @@ class CertifierStats:
         return self.aborts / self.requests
 
 
+class _RpcDedupState:
+    """Per-origin at-least-once RPC dedup state (see :meth:`Certifier.certify_rpc`).
+
+    ``latest`` is the highest request id ever served for the origin;
+    ``window`` maps recent request ids to their cached decisions, bounded to
+    :data:`RPC_DEDUP_WINDOW` entries in insertion (= request-id) order.
+    """
+
+    __slots__ = ("latest", "window")
+
+    def __init__(self) -> None:
+        self.latest = 0
+        self.window: Dict[int, List[CertificationResult]] = {}
+
+
 class LagSubscriptionIndex:
     """Replica lag cursors bucketed by the version at which they need a nudge.
 
@@ -172,7 +187,7 @@ class Certifier:
         # ever served plus a bounded window of recent decisions, so a retried
         # or duplicated round trip is answered from cache instead of being
         # certified twice.  See :meth:`certify_rpc`.
-        self.rpc_cache: Dict[int, Dict] = {}
+        self.rpc_cache: Dict[int, _RpcDedupState] = {}
         self.stats = CertifierStats()
 
     # ------------------------------------------------------------------
@@ -270,16 +285,16 @@ ReplicatedCertifierLog` (which carries its own ``rpc_cache``), so the
         """
         cache = self.rpc_cache.get(origin_replica)
         if cache is None:
-            cache = self.rpc_cache[origin_replica] = {"latest": 0, "window": {}}
-        window = cache["window"]
+            cache = self.rpc_cache[origin_replica] = _RpcDedupState()
+        window = cache.window
         cached = window.get(request_id)
         if cached is not None:
             self.stats.dedup_hits += 1
             return cached, self.writesets_since(since_version)
-        if request_id <= cache["latest"]:
+        if request_id <= cache.latest:
             self.stats.stale_requests += 1
             return None, []
-        cache["latest"] = request_id
+        cache.latest = request_id
         results, piggyback = self.certify_batch(requests, since_version, now=now)
         window[request_id] = results
         while len(window) > RPC_DEDUP_WINDOW:

@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.replication.certifier import (CertificationResult, Certifier,
-                                         CertifierStats, LagSubscriptionIndex)
+                                         CertifierStats, LagSubscriptionIndex,
+                                         _RpcDedupState)
 from repro.replication.replica import Replica
 from repro.replication.writeset import CertifiedWriteSet, WriteSet
 
@@ -48,7 +49,7 @@ class ReplicatedCertifierLog:
     #: The at-least-once RPC dedup cache also lives on the replicated
     #: service: a proxy retrying a round trip across a fail-over must be
     #: answered idempotently by the new leader, not re-certified.
-    rpc_cache: Dict[int, Dict] = field(default_factory=dict)
+    rpc_cache: Dict[int, _RpcDedupState] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.subscriptions is None:

@@ -580,11 +580,14 @@ class Replica:
     # ------------------------------------------------------------------
     def _trace_lap(self, ctx: TransactionContext, stage: int) -> None:
         """Close the trace's current stage at ``now`` and emit its span."""
+        # Deliberately unguarded: every call site checks ctx.trace/self.obs
+        # before entering, keeping this helper branch-free on the traced path.
         trace = ctx.trace
         now = self.sim.now
-        start = trace.lap(stage, now)
-        self.obs.tracer.span(STAGE_NAMES[stage], "stage", start, now - start,
-                             self.replica_id, trace.txn_id,
+        start = trace.lap(stage, now)  # simlint: disable=O1
+        self.obs.tracer.span(STAGE_NAMES[stage], "stage",  # simlint: disable=O1
+                             start, now - start,
+                             self.replica_id, trace.txn_id,  # simlint: disable=O1
                              args={"attempt": ctx.attempt})
 
     def _trace_finish(self, ctx: TransactionContext, committed: bool) -> None:
@@ -595,13 +598,15 @@ class Replica:
         sum-reconcile with the end-to-end latency histogram: the stage laps
         telescope from ``submitted_at`` to the finish instant.
         """
+        # Deliberately unguarded: only called from guarded call sites
+        # (zero-overhead contract enforced one frame up).
         trace = ctx.trace
         now = self.sim.now
         total = now - ctx.submitted_at
-        tracer = self.obs.tracer
-        tracer.stages.record_txn(trace.stage_seconds, total)
+        tracer = self.obs.tracer  # simlint: disable=O1
+        tracer.stages.record_txn(trace.stage_seconds, total)  # simlint: disable=O1
         tracer.span("txn", "txn", ctx.submitted_at, total, self.replica_id,
-                    trace.txn_id,
+                    trace.txn_id,  # simlint: disable=O1
                     args={"type": ctx.txn_type.name, "committed": committed,
                           "attempts": ctx.attempt})
 

@@ -1,0 +1,32 @@
+"""The strict-typing half of the static gate.
+
+Runs mypy with the repo's pyproject configuration and asserts a clean exit.
+Skipped when mypy is not installed (the local tier-1 environment does not
+ship it); the CI ``lint`` job installs mypy, so the gate is always enforced
+there, plus anywhere a developer has mypy available.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+
+def test_mypy_passes_with_repo_config():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        capture_output=True, text=True, cwd=REPO_ROOT)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_py_typed_marker_ships():
+    import repro
+    marker = os.path.join(os.path.dirname(os.path.abspath(repro.__file__)),
+                          "py.typed")
+    assert os.path.exists(marker)

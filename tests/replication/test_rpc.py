@@ -109,7 +109,7 @@ def test_certify_rpc_window_is_bounded():
     certifier = Certifier()
     for rid in range(1, RPC_DEDUP_WINDOW * 3):
         certifier.certify_rpc(0, rid, [(ws(rid), certifier.current_version)], 0)
-    assert len(certifier.rpc_cache[0]["window"]) <= RPC_DEDUP_WINDOW
+    assert len(certifier.rpc_cache[0].window) <= RPC_DEDUP_WINDOW
 
 
 # ----------------------------------------------------------------------
