@@ -47,6 +47,13 @@ def main(argv=None) -> int:
     parser.add_argument("--telemetry-json", default=None, metavar="PATH",
                         help="attach the telemetry registry (5 s snapshots) "
                              "and write its JSON export here")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="run scenarios in a pool of N worker processes "
+                             "and merge the timings into one report; ignored "
+                             "(serial) with --trace/--telemetry-json, which "
+                             "attach in-process observers.  Parallel runs "
+                             "share cores, so use for coverage sweeps, not "
+                             "for committed BENCH numbers")
     args = parser.parse_args(argv)
 
     wanted = args.scenario or ["all"]
@@ -63,6 +70,21 @@ def main(argv=None) -> int:
     observing = args.trace is not None or args.telemetry_json is not None
 
     timings: dict = {}
+    if args.workers > 1 and not observing and len(names) > 1:
+        import multiprocessing
+
+        print("running %d scenarios in %d worker processes ..."
+              % (len(names), args.workers), flush=True)
+        with multiprocessing.Pool(min(args.workers, len(names))) as pool:
+            results = pool.starmap(_run_one,
+                                   [(name, args.quick) for name in names])
+        for name, timing in results:
+            timings[name] = timing
+            print("  %s: %.2f s wall, %d events (%.0f events/s), %d txns"
+                  % (name, timing.wall_seconds, timing.events_processed,
+                     timing.events_per_second,
+                     timing.transactions_completed), flush=True)
+        names = []
     for name in names:
         print("running %s%s ..." % (name, " (quick)" if args.quick else ""),
               flush=True)
@@ -112,6 +134,11 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             return 1
     return 0
+
+
+def _run_one(name: str, quick: bool):
+    """Module-level worker so scenario runs pickle across a process pool."""
+    return name, SCENARIOS[name](quick)
 
 
 def _suffixed(path: str, suffix: str) -> str:

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from heapq import heappop, heappush
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.replication.writeset import CertifiedWriteSet, WriteSet
 
@@ -37,9 +37,13 @@ from repro.replication.writeset import CertifiedWriteSet, WriteSet
 RPC_DEDUP_WINDOW = 16
 
 
-@dataclass
-class CertificationResult:
-    """Outcome of one certification request."""
+class CertificationResult(NamedTuple):
+    """Outcome of one certification request.
+
+    A NamedTuple rather than a dataclass: one is constructed per
+    certification request, and tuple construction is C-level -- the
+    dataclass ``__init__`` was visible in certification-path profiles.
+    """
 
     committed: bool
     version: int
@@ -160,6 +164,12 @@ class LagSubscriptionIndex:
 
 class Certifier:
     """Certifies writesets, orders commits and retains the writeset log."""
+
+    #: Shard count of the conflict index / log.  The plain certifier is the
+    #: one-shard degenerate case; :class:`repro.replication.sharding.\
+    #: ShardedCertifier` overrides this, and callers that care (per-shard
+    #: cursors, vector writesets) probe ``getattr(certifier, "num_shards", 1)``.
+    num_shards = 1
 
     def __init__(self, lag_notification_threshold: int = 25,
                  max_log_entries: Optional[int] = None) -> None:

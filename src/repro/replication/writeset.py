@@ -11,23 +11,44 @@ stored in the certifier's persistent log and propagated to replicas.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Set
+from typing import Iterable
 
 from repro.storage.engine import WriteItem, WriteSet
 
 
-@dataclass(frozen=True)
 class CertifiedWriteSet:
-    """A writeset that passed certification, with its global commit order."""
+    """A writeset that passed certification, with its global commit order.
 
-    version: int
-    writeset: WriteSet
-    commit_time: float = 0.0
+    Hand-written rather than a frozen dataclass: one of these is constructed
+    per committed transaction, and the frozen-dataclass ``__init__`` (three
+    ``object.__setattr__`` calls) was a measurable slice of the certification
+    hot path.  Value equality and hashing match the old dataclass; treat
+    instances as immutable.
+    """
 
-    def __post_init__(self) -> None:
-        if self.version <= 0:
+    __slots__ = ("version", "writeset", "commit_time")
+
+    def __init__(self, version: int, writeset: WriteSet,
+                 commit_time: float = 0.0) -> None:
+        if version <= 0:
             raise ValueError("commit versions start at 1")
+        self.version = version
+        self.writeset = writeset
+        self.commit_time = commit_time
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CertifiedWriteSet):
+            return NotImplemented
+        return (self.version == other.version
+                and self.writeset == other.writeset
+                and self.commit_time == other.commit_time)  # simlint: disable=F1 -- value equality mirrors the former dataclass
+
+    def __hash__(self) -> int:
+        return hash((self.version, self.writeset, self.commit_time))
+
+    def __repr__(self) -> str:
+        return ("CertifiedWriteSet(version=%r, writeset=%r, commit_time=%r)"
+                % (self.version, self.writeset, self.commit_time))
 
     @property
     def tables(self) -> Iterable[str]:

@@ -80,11 +80,21 @@ class _RelationState:
     forgets relations whose bytes are all gone.
     """
 
-    __slots__ = ("resident", "hot_max")
+    __slots__ = ("resident", "hot_max", "pow_resident", "pow_hot", "pow_hit")
 
     def __init__(self, resident: float, hot_max: float) -> None:
         self.resident = resident
         self.hot_max = hot_max
+        # Memo of the last `(resident / hot) ** skew` evaluated for this
+        # relation: the exact inputs and the result.  Steady-state access
+        # sequences re-evaluate the curve at an unchanged operating point
+        # (resident only moves when there were misses), so caching one
+        # point per relation removes most libm pow calls; the exact float
+        # compare of both inputs *is* the invalidation, which keeps seeded
+        # outputs bit-identical.  -1.0 can never match a real input.
+        self.pow_resident = -1.0
+        self.pow_hot = -1.0
+        self.pow_hit = 0.0
 
 
 class BufferPool:
@@ -222,7 +232,17 @@ class BufferPool:
             miss_bytes = 0.0
         else:
             if resident > 0.0:
-                hit_fraction = (resident / hot_set_bytes) ** self.skew
+                # Exact one-point memo per relation (see _RelationState):
+                # at a pinned operating point -- residency capped by pool
+                # capacity or the hot-set watermark -- successive accesses
+                # re-evaluate pow at identical inputs.
+                if resident == state.pow_resident and hot_set_bytes == state.pow_hot:
+                    hit_fraction = state.pow_hit
+                else:
+                    hit_fraction = (resident / hot_set_bytes) ** self.skew
+                    state.pow_resident = resident
+                    state.pow_hot = hot_set_bytes
+                    state.pow_hit = hit_fraction
                 miss_bytes = bytes_needed * (1.0 - hit_fraction)
             else:
                 miss_bytes = bytes_needed
