@@ -47,6 +47,11 @@ def main(argv=None) -> int:
     parser.add_argument("--telemetry-json", default=None, metavar="PATH",
                         help="attach the telemetry registry (5 s snapshots) "
                              "and write its JSON export here")
+    parser.add_argument("--dsan", action="store_true",
+                        help="determinism sanitizer: run each scenario twice "
+                             "with event-stream fingerprinting and fail on "
+                             "the first diverging event (no timings; forces "
+                             "serial; excludes --trace/--telemetry-json)")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="run scenarios in a pool of N worker processes "
                              "and merge the timings into one report; ignored "
@@ -68,6 +73,11 @@ def main(argv=None) -> int:
             names.append(name)
 
     observing = args.trace is not None or args.telemetry_json is not None
+    if args.dsan and observing:
+        parser.error("--dsan excludes --trace/--telemetry-json (both claim "
+                     "the cluster's observability slot)")
+    if args.dsan:
+        return _run_dsan(names, args.quick)
 
     timings: dict = {}
     if args.workers > 1 and not observing and len(names) > 1:
@@ -134,6 +144,27 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             return 1
     return 0
+
+
+def _run_dsan(names, quick: bool) -> int:
+    """Double-run every scenario under the determinism sanitizer."""
+    from repro.analysis.dsan import check_determinism
+
+    from benchmarks.perf.scenarios import SCENARIOS as scenarios
+
+    failures = 0
+    for name in names:
+        print("dsan-checking %s%s ..." % (name, " (quick)" if quick else ""),
+              flush=True)
+
+        def run(session, _name=name):
+            scenarios[_name](quick, session)
+
+        report = check_determinism(run)
+        print("  " + report.format().replace("\n", "\n  "), flush=True)
+        if not report.deterministic:
+            failures += 1
+    return 1 if failures else 0
 
 
 def _run_one(name: str, quick: bool):

@@ -7,17 +7,22 @@ a set into an order-sensitive sink, the None-default observability slots are
 touched only behind ``is not None`` guards, hot-path classes carry
 ``__slots__``, and float equality never gates an invariant.  Until now these
 were enforced only *after* the fact, by the seeded golden tests -- which can
-tell you THAT determinism broke, but not where.  This package is the static
-half: an AST pass that localizes a violation to a file and line before any
-golden suite runs.
+tell you THAT determinism broke, but not where.  This package closes the
+gap from both sides: an AST pass (per-module rules plus a whole-program
+callgraph/dataflow layer) that localizes a violation to a file and line
+before any golden suite runs, and a runtime determinism sanitizer
+(:mod:`repro.analysis.dsan`) that replays a scenario against rolling event
+fingerprints and localizes the *first diverging event* when a golden
+mismatch does slip through.
 
-Rules
------
+Per-module rules
+----------------
 
 ====  ================================================================
 D1    Wall-clock ban: ``time.time``/``perf_counter``/``datetime.now``
       and friends are forbidden everywhere -- simulated time comes from
-      ``Simulator.now``.
+      ``Simulator.now``.  Harness code under ``benchmarks/`` runs a
+      relaxed profile (D1/D2/F1 with measurement clocks allowed).
 D2    Unseeded/global RNG ban: module-level ``random.*`` calls and bare
       ``random.Random()`` without a seed expression; every stream must
       derive from ``config.seed``.
@@ -36,6 +41,25 @@ F1    Float ``==``/``!=`` in the invariant-auditing and
       golden-comparison modules.
 ====  ================================================================
 
+Whole-program rules (callgraph + dataflow over the full module set)
+-------------------------------------------------------------------
+
+====  ================================================================
+O2    Interprocedural O1: an unguarded obs-slot use inside a helper is
+      *waived* when every call site in the program is dominated by an
+      ``is not None`` guard; an unguarded call site is flagged.
+R1    RNG seed provenance: every ``random.Random(expr)`` seed must
+      trace back to a configuration seed through local assignments,
+      ``self`` attributes, arithmetic mixing and call arguments.
+P1    Protocol conformance: ``TransactionContext`` lifecycle
+      transitions and ``LagSubscriptionIndex`` arm/disarm pairing are
+      model-checked against the declared tables in
+      :mod:`repro.analysis.contracts`.
+M1    Stale suppression (meta): a ``# simlint: disable=`` comment that
+      suppresses zero findings is itself reported, so the suppression
+      count stays an honest ratchet.
+====  ================================================================
+
 Suppressions: append ``# simlint: disable=RULE`` (comma-separated ids, or
 ``all``) to the offending line, with a justification comment.  Suppressed
 findings are counted and reported, never silently dropped.
@@ -46,13 +70,30 @@ use :func:`analyze_paths` / :func:`analyze_source` from tests.
 
 from repro.analysis.core import (
     Finding,
+    META_RULE_DOCS,
     ModuleSource,
+    PROGRAM_RULE_DOCS,
     Report,
     analyze_modules,
     analyze_paths,
+    analyze_program_source,
     analyze_source,
+    default_program_rules,
     iter_python_files,
     package_relpath,
+)
+from repro.analysis.callgraph import CallSite, FunctionInfo, Program, build_program
+from repro.analysis.dataflow import (
+    ProgramRule,
+    RuleO2CallSiteGuard,
+    RuleR1SeedProvenance,
+)
+from repro.analysis.contracts import (
+    LAG_SUBSCRIPTION,
+    PairingContract,
+    RuleP1ProtocolConformance,
+    StateMachineContract,
+    TXN_LIFECYCLE,
 )
 from repro.analysis.rules import (
     ALL_RULES,
@@ -69,20 +110,36 @@ from repro.analysis.rules import (
 
 __all__ = [
     "ALL_RULES",
+    "CallSite",
     "Finding",
+    "FunctionInfo",
+    "LAG_SUBSCRIPTION",
+    "META_RULE_DOCS",
     "ModuleSource",
+    "PROGRAM_RULE_DOCS",
+    "PairingContract",
+    "Program",
+    "ProgramRule",
     "Report",
     "RULE_DOCS",
     "Rule",
     "RuleD1WallClock",
     "RuleD2UnseededRng",
     "RuleD3SetIteration",
-    "RuleO1ObsGuard",
-    "RuleS1Slots",
     "RuleF1FloatEquality",
+    "RuleO1ObsGuard",
+    "RuleO2CallSiteGuard",
+    "RuleP1ProtocolConformance",
+    "RuleR1SeedProvenance",
+    "RuleS1Slots",
+    "StateMachineContract",
+    "TXN_LIFECYCLE",
     "analyze_modules",
     "analyze_paths",
+    "analyze_program_source",
     "analyze_source",
+    "build_program",
+    "default_program_rules",
     "default_rules",
     "iter_python_files",
     "package_relpath",

@@ -1,7 +1,8 @@
 """CLI for simlint: ``python -m repro.analysis [paths...] [--json FILE]``.
 
-Exit codes: 0 clean (suppressed findings allowed), 1 unsuppressed findings,
-2 analysis errors (unparseable file, unknown rule id, bad path).
+Exit codes: 0 clean (suppressed findings allowed), 1 unsuppressed findings
+(or stale suppressions under ``--fail-on-stale-suppressions``), 2 analysis
+errors (unparseable file, unknown rule id, bad path).
 """
 
 from __future__ import annotations
@@ -12,7 +13,8 @@ import os
 import sys
 from typing import List, Optional, Sequence
 
-from repro.analysis.core import Report, analyze_paths
+from repro.analysis.core import (META_RULE_DOCS, PROGRAM_RULE_DOCS, Report,
+                                 analyze_paths, default_program_rules)
 from repro.analysis.rules import RULE_DOCS, default_rules
 
 
@@ -22,11 +24,19 @@ def _default_target() -> str:
     return os.path.dirname(os.path.abspath(repro.__file__))
 
 
+def _all_rule_docs() -> dict:
+    docs = dict(RULE_DOCS)
+    docs.update(PROGRAM_RULE_DOCS)
+    docs.update(META_RULE_DOCS)
+    return docs
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="simlint: determinism & hot-path linter for the repro "
-                    "simulator (rules D1 D2 D3 O1 S1 F1).")
+                    "simulator (per-module rules D1 D2 D3 O1 S1 F1, "
+                    "whole-program rules O2 R1 P1, meta-rule M1).")
     parser.add_argument(
         "paths", nargs="*",
         help="files or directories to analyze (default: the repro package)")
@@ -35,10 +45,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full report (including suppressed findings) as JSON")
     parser.add_argument(
         "--rules", metavar="IDS",
-        help="comma-separated rule ids to run (default: all)")
+        help="comma-separated rule ids to run (default: all; restricting "
+             "the set disables stale-suppression detection)")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule table and exit")
+    parser.add_argument(
+        "--fail-on-stale-suppressions", action="store_true",
+        dest="fail_on_stale",
+        help="exit 1 when a `# simlint: disable=` comment suppresses "
+             "nothing (M1)")
     parser.add_argument(
         "--quiet", action="store_true",
         help="suppress per-finding output; print only the summary line")
@@ -49,17 +65,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.list_rules:
-        for rule_id in sorted(RULE_DOCS):
-            print("%s  %s" % (rule_id, RULE_DOCS[rule_id]))
+        docs = _all_rule_docs()
+        for rule_id in sorted(docs):
+            print("%s  %s" % (rule_id, docs[rule_id]))
         return 0
 
-    try:
-        rules = default_rules(
-            [part.strip() for part in args.rules.split(",") if part.strip()]
-            if args.rules else None)
-    except ValueError as exc:
-        print("error: %s" % exc, file=sys.stderr)
-        return 2
+    rules = None
+    program_rules = None
+    if args.rules:
+        requested = [part.strip() for part in args.rules.split(",")
+                     if part.strip()]
+        unknown = [rid for rid in requested
+                   if rid not in RULE_DOCS and rid not in PROGRAM_RULE_DOCS]
+        if unknown:
+            print("error: unknown rule id(s): %s" % ", ".join(unknown),
+                  file=sys.stderr)
+            return 2
+        module_ids = [rid for rid in requested if rid in RULE_DOCS]
+        program_ids = [rid for rid in requested if rid in PROGRAM_RULE_DOCS]
+        rules = default_rules(module_ids) if module_ids else []
+        program_rules = default_program_rules(program_ids)
 
     paths: List[str] = list(args.paths) or [_default_target()]
     for path in paths:
@@ -67,16 +92,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("error: no such path: %s" % path, file=sys.stderr)
             return 2
 
-    report: Report = analyze_paths(paths, rules)
+    report: Report = analyze_paths(paths, rules, program_rules)
 
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as handle:
-            json.dump(report.to_json(RULE_DOCS), handle, indent=2,
+            json.dump(report.to_json(_all_rule_docs()), handle, indent=2,
                       sort_keys=True)
             handle.write("\n")
 
     if not args.quiet:
         for finding in report.findings:
+            print(finding.format())
+        for finding in report.stale:
             print(finding.format())
         for error in report.errors:
             print("error: %s" % error, file=sys.stderr)
@@ -84,7 +111,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if report.errors:
         return 2
-    return 0 if report.ok else 1
+    if not report.ok:
+        return 1
+    if args.fail_on_stale and report.stale:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

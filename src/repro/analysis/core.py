@@ -15,11 +15,13 @@ import ast
 import io
 import os
 import tokenize
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 #: JSON artifact schema version (bump on incompatible changes).
-SCHEMA_VERSION = 1
+#: v2: adds ``waived`` (per-module findings proven safe by a whole-program
+#: rule) and ``stale_suppressions`` (M1) sections.
+SCHEMA_VERSION = 2
 
 #: The comment directive: ``# simlint: disable=D1`` / ``disable=D1,O1`` /
 #: ``disable=all``.
@@ -77,8 +79,13 @@ def parse_suppressions(text: str) -> Dict[int, frozenset]:
             if not directive.startswith("disable="):
                 continue
             spec = directive[len("disable="):].split()[0] if directive[len("disable="):] else ""
+            # Only well-formed ids count (`D1`, `all`): a prose comment
+            # that merely *mentions* the directive (e.g. in backticks)
+            # must not register as a suppression, or M1 would flag it.
             rules = frozenset(
-                part.strip() for part in spec.split(",") if part.strip())
+                part.strip() for part in spec.split(",")
+                if part.strip() and
+                (part.strip() == SUPPRESS_ALL or part.strip().isalnum()))
             if rules:
                 existing = out.get(tok.start[0], frozenset())
                 out[tok.start[0]] = existing | rules
@@ -130,6 +137,13 @@ class Report:
     files_analyzed: int = 0
     paths: List[str] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
+    #: Per-module findings a whole-program rule proved safe (e.g. O1
+    #: findings in a helper whose every call site O2 showed is guarded).
+    #: Reported for transparency, never fail the run.
+    waived: List[Finding] = field(default_factory=list)
+    #: M1 meta-findings: ``# simlint: disable=`` comments that suppress
+    #: nothing.  Fail the run only under ``--fail-on-stale-suppressions``.
+    stale: List[Finding] = field(default_factory=list)
 
     @property
     def active(self) -> List[Finding]:
@@ -159,30 +173,104 @@ class Report:
             "rules": dict(rule_docs or {}),
             "findings": [f.to_json() for f in self.active],
             "suppressed": [f.to_json() for f in self.suppressed],
+            "waived": [f.to_json() for f in self.waived],
+            "stale_suppressions": [f.to_json() for f in self.stale],
             "errors": list(self.errors),
             "counts": {
                 "findings": len(self.active),
                 "suppressed": len(self.suppressed),
+                "waived": len(self.waived),
+                "stale_suppressions": len(self.stale),
                 "by_rule": self.counts_by_rule(),
             },
         }
 
     def summary(self) -> str:
-        return ("%d file(s): %d finding(s), %d suppressed"
-                % (self.files_analyzed, len(self.active), len(self.suppressed)))
+        text = ("%d file(s): %d finding(s), %d suppressed"
+                % (self.files_analyzed, len(self.active),
+                   len(self.suppressed)))
+        if self.waived:
+            text += ", %d waived" % len(self.waived)
+        if self.stale:
+            text += ", %d stale suppression(s)" % len(self.stale)
+        return text
 
 
 def package_relpath(path: str) -> str:
     """Path relative to the innermost ``repro`` package directory.
 
-    ``/root/repo/src/repro/sim/events.py`` -> ``sim/events.py``; files
-    outside a ``repro`` tree keep their basename-relative tail unchanged.
+    ``/root/repo/src/repro/sim/events.py`` -> ``sim/events.py``; harness
+    files anchor at the ``benchmarks`` tree and *keep* that component
+    (``/root/repo/benchmarks/perf/run.py`` -> ``benchmarks/perf/run.py``)
+    so the per-path rule profile can key off the prefix; anything else
+    keeps its basename.
     """
     parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
     for i in range(len(parts) - 1, -1, -1):
         if parts[i] == "repro":
             return "/".join(parts[i + 1:])
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "benchmarks":
+            return "/".join(parts[i:])
     return os.path.basename(path)
+
+
+#: Rule profile for harness code (``benchmarks/``): determinism of the
+#: *simulated* run still matters (D2 seeds, F1 float gates, no simulated
+#: wall-clock), but the harness's whole job is wall-clock measurement, so
+#: D1 runs with ``time.perf_counter``/``perf_counter_ns`` allowed.
+HARNESS_RULE_IDS = frozenset({"D1", "D2", "F1"})
+
+
+def is_harness_relpath(relpath: str) -> bool:
+    return relpath.split("/", 1)[0] == "benchmarks"
+
+
+def harness_profile_rules(rules: Sequence["Rule"]) -> List["Rule"]:  # noqa: F821
+    """Project a rule set onto the harness profile (D1/D2/F1 only)."""
+    from repro.analysis.rules import RuleD1WallClock
+    out = []
+    for rule in rules:
+        if rule.rule_id not in HARNESS_RULE_IDS:
+            continue
+        if rule.rule_id == "D1":
+            out.append(RuleD1WallClock(measurement_clock_ok=True))
+        else:
+            out.append(rule)
+    return out
+
+
+def default_program_rules(only: Optional[Sequence[str]] = None
+                          ) -> List["ProgramRule"]:  # noqa: F821
+    """The whole-program rules (O2, R1, P1), optionally filtered by id."""
+    from repro.analysis.dataflow import (RuleO2CallSiteGuard,
+                                         RuleR1SeedProvenance)
+    from repro.analysis.contracts import RuleP1ProtocolConformance
+    rules = [RuleO2CallSiteGuard(), RuleR1SeedProvenance(),
+             RuleP1ProtocolConformance()]
+    if only is None:
+        return rules
+    wanted = set(only)
+    return [rule for rule in rules if rule.rule_id in wanted]
+
+
+#: Docs for the whole-program and meta rules (merged into ``--list-rules``
+#: and the JSON artifact next to the per-module ``RULE_DOCS``).
+PROGRAM_RULE_DOCS: Dict[str, str] = {
+    "O2": "interprocedural O1: an unguarded obs-slot use in a helper is "
+          "waived when every call site is dominated by an `is not None` "
+          "guard; unguarded call sites are flagged",
+    "R1": "RNG seed provenance: every random.Random(expr) seed must trace "
+          "back to a configuration seed through assignments, attributes "
+          "and call arguments",
+    "P1": "protocol conformance: TransactionContext lifecycle transitions "
+          "and LagSubscriptionIndex arm/disarm pairing checked against "
+          "the declared tables in analysis/contracts.py",
+}
+META_RULE_DOCS: Dict[str, str] = {
+    "M1": "stale suppression: a `# simlint: disable=` comment that "
+          "suppresses zero findings (keeps the ratchet honest)",
+}
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
@@ -217,16 +305,111 @@ def analyze_modules(modules: Iterable[ModuleSource],
     return report
 
 
+def _analyze(modules: Sequence[ModuleSource],
+             rules: Sequence["Rule"],  # noqa: F821
+             program_rules: Sequence["ProgramRule"],  # noqa: F821
+             detect_stale: bool) -> Report:
+    """Shared orchestration: per-module rules under the per-path profile,
+    whole-program rules over the full-profile module set, waiver
+    application and stale-suppression detection."""
+    full = [m for m in modules if not is_harness_relpath(m.relpath)]
+    harness = [m for m in modules if is_harness_relpath(m.relpath)]
+
+    report = analyze_modules(full, rules)
+    if harness:
+        harness_report = analyze_modules(harness,
+                                         harness_profile_rules(rules))
+        report.findings.extend(harness_report.findings)
+        report.files_analyzed += harness_report.files_analyzed
+
+    if program_rules and full:
+        from repro.analysis.callgraph import build_program
+        program = build_program(full)
+        module_by_relpath = {m.relpath: m for m in full}
+        for program_rule in program_rules:
+            new_findings, waived = program_rule.analyze(program)
+            waived_keys = {(f.path, f.line, f.col, f.rule) for f in waived}
+            if waived_keys:
+                kept: List[Finding] = []
+                for finding in report.findings:
+                    key = (finding.path, finding.line, finding.col,
+                           finding.rule)
+                    if key in waived_keys and not finding.suppressed:
+                        report.waived.append(finding)
+                    else:
+                        kept.append(finding)
+                report.findings = kept
+            for finding in new_findings:
+                module = module_by_relpath.get(finding.path)
+                if module is not None and \
+                        module.is_suppressed(finding.rule, finding.line):
+                    finding = replace(finding, suppressed=True)
+                report.findings.append(finding)
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        report.waived.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    if detect_stale:
+        _detect_stale_suppressions(modules, report)
+    return report
+
+
+def _detect_stale_suppressions(modules: Sequence[ModuleSource],
+                               report: Report) -> None:
+    """M1: flag every suppression directive that matched zero findings.
+
+    A suppression is *live* if a finding of its rule (active, suppressed,
+    or waived -- a waived finding still exists) landed on its line;
+    ``disable=all`` is live if any finding at all landed there.  Only
+    meaningful when the full rule set ran, so callers gate this on an
+    unrestricted ``--rules``.
+    """
+    present: Dict[Tuple[str, int], Set[str]] = {}
+    for finding in list(report.findings) + list(report.waived):
+        present.setdefault((finding.path, finding.line),
+                           set()).add(finding.rule)
+    for module in modules:
+        for line in sorted(module.suppressions):
+            found = present.get((module.relpath, line), set())
+            for rule_id in sorted(module.suppressions[line]):
+                if rule_id == SUPPRESS_ALL:
+                    if found:
+                        continue
+                    detail = "`disable=all` suppresses no findings"
+                elif rule_id in found:
+                    continue
+                else:
+                    detail = ("`disable=%s` suppresses no %s finding"
+                              % (rule_id, rule_id))
+                report.stale.append(Finding(
+                    rule="M1", path=module.relpath, line=line, col=1,
+                    message="stale suppression: %s on this line "
+                            "(remove the comment)" % detail))
+    report.stale.sort(key=lambda f: (f.path, f.line, f.col, f.message))
+
+
 def analyze_paths(paths: Sequence[str],
-                  rules: Optional[Sequence["Rule"]] = None) -> Report:  # noqa: F821
-    """Analyze every Python file under ``paths`` with ``rules``.
+                  rules: Optional[Sequence["Rule"]] = None,  # noqa: F821
+                  program_rules: Optional[Sequence["ProgramRule"]] = None,  # noqa: F821
+                  detect_stale: Optional[bool] = None) -> Report:
+    """Analyze every Python file under ``paths``.
+
+    With both rule arguments left at None the full default sets run
+    (per-module D1..F1 under the per-path profile, whole-program O2/R1/P1)
+    and stale-suppression detection is on.  Restricting either rule set
+    disables the program rules / stale detection unless explicitly
+    requested -- a partial run cannot judge a suppression stale.
 
     Unparseable files are recorded in ``Report.errors`` (and fail the run)
     instead of being skipped silently.
     """
     from repro.analysis.rules import default_rules
+    unrestricted = rules is None and program_rules is None
     if rules is None:
         rules = default_rules()
+    if program_rules is None:
+        program_rules = default_program_rules() if unrestricted else []
+    if detect_stale is None:
+        detect_stale = unrestricted
     modules: List[ModuleSource] = []
     errors: List[str] = []
     for filename in iter_python_files(paths):
@@ -234,7 +417,7 @@ def analyze_paths(paths: Sequence[str],
             modules.append(ModuleSource.from_file(filename))
         except (SyntaxError, UnicodeDecodeError, OSError) as exc:
             errors.append("%s: %s" % (filename, exc))
-    report = analyze_modules(modules, rules)
+    report = _analyze(modules, rules, program_rules, detect_stale)
     report.paths = [os.path.abspath(p) for p in paths]
     report.errors.extend(errors)
     return report
@@ -249,3 +432,22 @@ def analyze_source(text: str, relpath: str = "fixture.py",
         rules = default_rules()
     module = ModuleSource(text, path=relpath, relpath=relpath)
     return analyze_modules([module], rules).findings
+
+
+def analyze_program_source(files: Dict[str, str],
+                           rules: Optional[Sequence["Rule"]] = None,  # noqa: F821
+                           program_rules: Optional[Sequence["ProgramRule"]] = None,  # noqa: F821
+                           detect_stale: bool = False) -> Report:
+    """Analyze a multi-file fixture (the program-rule test entry point).
+
+    ``files`` maps relpath -> source text; relpaths under ``benchmarks/``
+    get the harness profile exactly as on disk.
+    """
+    from repro.analysis.rules import default_rules
+    if rules is None:
+        rules = default_rules()
+    if program_rules is None:
+        program_rules = default_program_rules()
+    modules = [ModuleSource(text, path=relpath, relpath=relpath)
+               for relpath, text in sorted(files.items())]
+    return _analyze(modules, rules, program_rules, detect_stale)

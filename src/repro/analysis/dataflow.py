@@ -1,0 +1,322 @@
+"""Interprocedural dataflow rules: O2 guard dominance and R1 seed provenance.
+
+Both rules run over a :class:`~repro.analysis.callgraph.Program` (every
+module of the analyzed set at once) instead of one module at a time.
+
+**O2 -- interprocedural obs-guard dominance.**  The per-function O1 rule
+stops at ``def`` boundaries, which used to force reviewed suppressions onto
+helpers like ``Replica._trace_lap`` whose *callers* hold the ``is not
+None`` guard.  O2 lifts the check one level: a function whose body uses an
+obs slot unguarded is *waived* when every call site of that function in
+the whole program is dominated by an ``is not None`` guard of a watched
+slot (computed with exactly O1's guard semantics, via the rule's call
+observer).  If any call site is unguarded, the helper's O1 findings stay
+active and each unguarded call site additionally gets an O2 finding
+pointing at the line to fix.  A helper with *no* visible call sites keeps
+its O1 findings -- absence of evidence is not a guard.
+
+**R1 -- RNG seed provenance.**  D2 bans the global stream syntactically;
+R1 checks that each ``random.Random(expr)`` construction's seed expression
+*traces back* to a configuration seed: through local assignments, ``self``
+attributes (via the class's ``self.x = ...`` assignments), arithmetic
+mixing, and -- for parameters -- through every call site of the enclosing
+function.  A chain launders its seed (reassigned from a non-seed source,
+parameter fed a literal-free unseeded expression, untraceable call) and
+the construction is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, ModuleSource
+from repro.analysis.callgraph import CallSite, FunctionInfo, Program
+from repro.analysis.rules import Rule, RuleO1ObsGuard, _dotted_name
+
+
+class ProgramRule(Rule):
+    """Base class for whole-program rules.
+
+    ``analyze`` returns ``(findings, waived)``: new findings to report, and
+    per-module findings from the base rules that this pass proved safe
+    (``analyze_paths`` moves matching findings into the report's waived
+    list instead of the active list).
+    """
+
+    def analyze(self, program: Program
+                ) -> Tuple[List[Finding], List[Finding]]:
+        raise NotImplementedError
+
+    def check(self, module: ModuleSource):  # pragma: no cover - not used
+        return iter(())
+
+
+# ----------------------------------------------------------------------
+# O2 -- interprocedural guard dominance
+# ----------------------------------------------------------------------
+class RuleO2CallSiteGuard(ProgramRule):
+    """Waive O1 findings in helpers whose every call site is guarded."""
+
+    rule_id = "O2"
+    title = "unguarded call into obs-using helper"
+
+    def analyze(self, program: Program
+                ) -> Tuple[List[Finding], List[Finding]]:
+        # Pass 1: per function, O1 findings plus every call expression with
+        # the guard keys live at it (same dominance semantics as O1).
+        guarded_calls: Dict[int, FrozenSet[str]] = {}
+        func_findings: Dict[FunctionInfo, List[Finding]] = {}
+
+        def observer(node: ast.Call, guarded: FrozenSet[str]) -> None:
+            guarded_calls[id(node)] = guarded
+
+        rule = RuleO1ObsGuard(call_observer=observer)
+        for func in program.functions:
+            findings: List[Finding] = []
+            rule._check_function(func.module, func.node, findings)
+            # Nested defs are separate FunctionInfos; _check_function already
+            # skips their bodies, so no double counting.
+            active = [f for f in findings
+                      if not func.module.is_suppressed(f.rule, f.line)]
+            if active:
+                func_findings[func] = active
+
+        waived: List[Finding] = []
+        new_findings: List[Finding] = []
+        for func, findings in sorted(
+                func_findings.items(),
+                key=lambda item: (item[0].module.relpath, item[0].qualname)):
+            sites = program.call_sites_of(func)
+            if not sites:
+                continue        # no caller to carry the guard: O1 stands
+            unguarded = [site for site in sites
+                         if not guarded_calls.get(id(site.node))]
+            if not unguarded:
+                waived.extend(findings)
+                continue
+            # Some call sites are guarded, some not: the helper's O1
+            # findings stay active, and each unguarded call site gets its
+            # own localized finding.
+            for site in unguarded:
+                new_findings.append(Finding(
+                    rule=self.rule_id,
+                    path=site.module.relpath,
+                    line=site.node.lineno,
+                    col=site.node.col_offset + 1,
+                    message="call to `%s` (uses obs slot unguarded at "
+                            "%s:%d) is not dominated by an `is not None` "
+                            "guard at this call site"
+                            % (func.name, func.module.relpath,
+                               findings[0].line),
+                ))
+        return new_findings, waived
+
+
+# ----------------------------------------------------------------------
+# R1 -- RNG seed provenance
+# ----------------------------------------------------------------------
+_TRACE_DEPTH_LIMIT = 4
+
+
+class RuleR1SeedProvenance(ProgramRule):
+    """Every ``random.Random(expr)`` seed must trace back to a config seed."""
+
+    rule_id = "R1"
+    title = "RNG seed without config.seed provenance"
+
+    def analyze(self, program: Program
+                ) -> Tuple[List[Finding], List[Finding]]:
+        findings: List[Finding] = []
+        for module in program.modules:
+            aliases = self._random_aliases(module)
+            if not aliases:
+                continue
+            for func in [f for f in program.functions
+                         if f.module is module] + [None]:
+                calls = (program.calls_in.get(func, [])
+                         if func is not None else
+                         [c for c in program.calls
+                          if c.module is module and c.caller is None])
+                for site in calls:
+                    seed_expr = self._random_seed_expr(site, aliases)
+                    if seed_expr is None:
+                        continue
+                    memo: Dict[int, bool] = {}
+                    if not self._derived(program, func, seed_expr, 0, memo):
+                        findings.append(Finding(
+                            rule=self.rule_id,
+                            path=module.relpath,
+                            line=site.node.lineno,
+                            col=site.node.col_offset + 1,
+                            message="`Random(%s)` seed does not trace back "
+                                    "to a configuration seed (derive it "
+                                    "from config.seed)"
+                                    % _expr_label(seed_expr),
+                        ))
+        return findings, []
+
+    # -- Random() construction detection --------------------------------
+    def _random_aliases(self, module: ModuleSource
+                        ) -> Optional[Tuple[Set[str], Set[str]]]:
+        """(module aliases of `random`, class aliases of `Random`)."""
+        mod_aliases: Set[str] = set()
+        cls_aliases: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        mod_aliases.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name == "Random":
+                        cls_aliases.add(alias.asname or "Random")
+        if not mod_aliases and not cls_aliases:
+            return None
+        return mod_aliases, cls_aliases
+
+    def _random_seed_expr(self, site: CallSite,
+                          aliases: Tuple[Set[str], Set[str]]
+                          ) -> Optional[ast.expr]:
+        mod_aliases, cls_aliases = aliases
+        node = site.node
+        func = node.func
+        is_random = False
+        if isinstance(func, ast.Attribute) and func.attr == "Random" and \
+                isinstance(func.value, ast.Name) and \
+                func.value.id in mod_aliases:
+            is_random = True
+        elif isinstance(func, ast.Name) and func.id in cls_aliases:
+            is_random = True
+        if not is_random or not node.args:
+            return None     # seedless construction is D2's finding
+        return node.args[0]
+
+    # -- provenance tracing ---------------------------------------------
+    def _derived(self, program: Program, func: Optional[FunctionInfo],
+                 expr: ast.expr, depth: int, memo: Dict[int, bool]) -> bool:
+        """True when ``expr`` provably derives from a configuration seed."""
+        if depth > _TRACE_DEPTH_LIMIT:
+            return False
+        key = id(expr)
+        if key in memo:
+            return memo[key]
+        memo[key] = False       # cycle guard: assume not derived while open
+        result = self._derived_inner(program, func, expr, depth, memo)
+        memo[key] = result
+        return result
+
+    def _derived_inner(self, program: Program,
+                       func: Optional[FunctionInfo], expr: ast.expr,
+                       depth: int, memo: Dict[int, bool]) -> bool:
+        if isinstance(expr, ast.Attribute):
+            dotted = _dotted_name(expr)
+            if dotted is not None and _seedish(dotted):
+                return True
+            # `self.x` -> every expression assigned to it in the class.
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self" \
+                    and func is not None and func.class_name is not None:
+                assigns = program.attr_assignments.get(
+                    (func.class_name, expr.attr), [])
+                return bool(assigns) and all(
+                    self._derived(program, func, value, depth + 1, memo)
+                    for value in assigns)
+            return False
+        if isinstance(expr, ast.Name):
+            if func is not None:
+                assigns = _local_assignments(func, expr.id)
+                if assigns:
+                    return all(
+                        self._derived(program, func, value, depth, memo)
+                        for value in assigns)
+                if expr.id in func.params:
+                    return self._derived_parameter(
+                        program, func, expr.id, depth, memo)
+            return _seedish(expr.id)
+        if isinstance(expr, ast.BinOp):
+            return (self._derived(program, func, expr.left, depth, memo)
+                    or self._derived(program, func, expr.right, depth, memo))
+        if isinstance(expr, ast.UnaryOp):
+            return self._derived(program, func, expr.operand, depth, memo)
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            return any(self._derived(program, func, el, depth, memo)
+                       for el in expr.elts)
+        if isinstance(expr, ast.IfExp):
+            return (self._derived(program, func, expr.body, depth, memo)
+                    and self._derived(program, func, expr.orelse, depth,
+                                      memo))
+        if isinstance(expr, ast.Call):
+            # A call mixes its arguments: derived if any argument is, or if
+            # the callee's name says it manufactures seeds.
+            name = None
+            if isinstance(expr.func, ast.Name):
+                name = expr.func.id
+            elif isinstance(expr.func, ast.Attribute):
+                name = expr.func.attr
+            if name is not None and _seedish(name):
+                return True
+            return any(self._derived(program, func, arg, depth + 1, memo)
+                       for arg in expr.args)
+        # Literals (and anything else) are not configuration seeds: a
+        # hard-coded literal in source belongs in a config default, or
+        # behind a reviewed `# simlint: disable=R1`.
+        return False
+
+    def _derived_parameter(self, program: Program, func: FunctionInfo,
+                           name: str, depth: int,
+                           memo: Dict[int, bool]) -> bool:
+        """A parameter is seed-derived if its name says so, or if every
+        call site of the function passes a seed-derived argument."""
+        if _seedish(name):
+            return True
+        index = func.params.index(name)
+        sites = program.call_sites_of(func)
+        if not sites:
+            return False        # nothing to trace through
+        for site in sites:
+            arg = site.argument_for(func, index)
+            if arg is None:
+                return False    # defaulted / *args: provenance unknown
+            if not self._derived(program, site.caller, arg, depth + 1, memo):
+                return False
+        return True
+
+
+def _seedish(dotted: str) -> bool:
+    return any("seed" in part.lower() for part in dotted.split("."))
+
+
+def _local_assignments(func: FunctionInfo, name: str) -> List[ast.expr]:
+    """Every expression assigned to local ``name`` in ``func``'s own body.
+
+    Nested function/class bodies are separate scopes and are not descended
+    into (their ``name`` is a different binding).
+    """
+    out: List[ast.expr] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+                continue
+            if isinstance(child, ast.Assign):
+                for target in child.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        out.append(child.value)
+            elif isinstance(child, ast.AnnAssign) and \
+                    child.value is not None and \
+                    isinstance(child.target, ast.Name) and \
+                    child.target.id == name:
+                out.append(child.value)
+            visit(child)
+
+    visit(func.node)
+    return out
+
+
+def _expr_label(expr: ast.expr) -> str:
+    try:
+        text = ast.unparse(expr)
+    except Exception:       # pragma: no cover - pre-3.9 fallback
+        text = "<expr>"
+    return text if len(text) <= 40 else text[:37] + "..."

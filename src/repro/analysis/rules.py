@@ -12,9 +12,14 @@ them.
 from __future__ import annotations
 
 import ast
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (Callable, Dict, FrozenSet, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
 
 from repro.analysis.core import Finding, ModuleSource
+
+#: Hook signature for the whole-program pass: (call node, guard keys proven
+#: non-None at the call, under O1's dominance semantics).
+CallObserver = Callable[[ast.Call, FrozenSet[str]], None]
 
 
 class Rule:
@@ -78,6 +83,18 @@ class RuleD1WallClock(Rule):
     })
     BANNED_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
 
+    #: The benchmark harness's sanctioned measurement clock (see the
+    #: ``harness`` path profile in :mod:`repro.analysis.core`): timing how
+    #: long a simulation took is the harness's *job*; what stays banned
+    #: there is smuggling host time into simulated behaviour
+    #: (``time.time``, ``sleep``, ``datetime.now`` ...).
+    MEASUREMENT_ATTRS = frozenset({"perf_counter", "perf_counter_ns"})
+
+    def __init__(self, measurement_clock_ok: bool = False) -> None:
+        self.banned_time_attrs = (
+            self.BANNED_TIME_ATTRS - self.MEASUREMENT_ATTRS
+            if measurement_clock_ok else self.BANNED_TIME_ATTRS)
+
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         time_aliases: Set[str] = set()
         datetime_mod_aliases: Set[str] = set()
@@ -94,7 +111,7 @@ class RuleD1WallClock(Rule):
             elif isinstance(node, ast.ImportFrom):
                 if node.module == "time":
                     for alias in node.names:
-                        if alias.name in self.BANNED_TIME_ATTRS:
+                        if alias.name in self.banned_time_attrs:
                             findings.append(self.finding(
                                 module, node,
                                 "imports wall-clock `time.%s`; use the sim "
@@ -109,7 +126,7 @@ class RuleD1WallClock(Rule):
                 continue
             base = node.value
             if isinstance(base, ast.Name):
-                if base.id in time_aliases and node.attr in self.BANNED_TIME_ATTRS:
+                if base.id in time_aliases and node.attr in self.banned_time_attrs:
                     findings.append(self.finding(
                         module, node,
                         "wall-clock `%s.%s`; simulated time comes from "
@@ -453,7 +470,15 @@ class RuleO1ObsGuard(Rule):
     rule_id = "O1"
     title = "unguarded observability-slot use"
 
-    WATCHED_ATTRS = frozenset({"trace", "obs", "observability", "on_evict"})
+    WATCHED_ATTRS = frozenset({"trace", "obs", "observability", "on_evict",
+                               "probe"})
+
+    def __init__(self, call_observer: Optional[
+            "CallObserver"] = None) -> None:
+        #: Optional hook for the whole-program pass (O2): invoked for every
+        #: call expression with the guard keys proven non-None at that
+        #: point, using exactly this rule's dominance semantics.
+        self.call_observer = call_observer
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         findings: List[Finding] = []
@@ -594,6 +619,9 @@ class RuleO1ObsGuard(Rule):
                 self._scan_expression(module, value, acc, aliases, findings)
                 acc |= self._guard_keys(value, aliases, positive=True)
             return
+
+        if isinstance(node, ast.Call) and self.call_observer is not None:
+            self.call_observer(node, frozenset(guarded))
 
         use = self._use_target(node, aliases)
         if use is not None:

@@ -441,9 +441,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="write a Chrome trace-event JSON (perfetto) here")
     parser.add_argument("--snapshot-interval", type=float, default=5.0)
+    parser.add_argument("--dsan", action="store_true",
+                        help="determinism sanitizer: run the campaign twice "
+                             "with event-stream fingerprinting and fail on "
+                             "the first diverging event (excludes --sweep "
+                             "and the observability exports)")
     args = parser.parse_args(argv)
 
     duration = 120.0 if args.quick else args.duration
+
+    if args.dsan:
+        if args.sweep is not None or args.trace or args.telemetry_json:
+            parser.error("--dsan excludes --sweep/--trace/--telemetry-json")
+        from repro.analysis.dsan import check_determinism
+
+        config = chaos_soak_config(severity=args.severity, seed=args.seed,
+                                   duration_s=duration,
+                                   num_replicas=args.replicas)
+
+        def run(session) -> None:
+            run_chaos(config, observability=session)
+
+        report = check_determinism(run)
+        print(report.format())
+        return 0 if report.deterministic else 1
 
     if args.sweep is not None:
         results = severity_sweep(args.sweep, seed=args.seed, duration_s=duration)

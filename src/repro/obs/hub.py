@@ -25,12 +25,13 @@ of a seeded run is bit-identical with the hub on or off.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.obs.registry import TelemetryRegistry
 from repro.obs.trace import Tracer
 
 if TYPE_CHECKING:
+    from repro.elasticity.autoscaler import ScalingDecision
     from repro.replication.cluster import ReplicatedCluster
     from repro.replication.replica import Replica
 
@@ -53,15 +54,20 @@ class ObservabilityHub:
 
     @classmethod
     def create(cls, tracing: bool = True, telemetry: bool = True,
-               **kwargs) -> "ObservabilityHub":
+               trace_evictions: bool = False,
+               snapshot_interval_s: Optional[float] = None) -> "ObservabilityHub":
         return cls(tracer=Tracer() if tracing else None,
                    registry=TelemetryRegistry() if telemetry else None,
-                   **kwargs)
+                   trace_evictions=trace_evictions,
+                   snapshot_interval_s=snapshot_interval_s)
 
     @classmethod
-    def full(cls, **kwargs) -> "ObservabilityHub":
+    def full(cls, trace_evictions: bool = False,
+             snapshot_interval_s: Optional[float] = None) -> "ObservabilityHub":
         """Both halves enabled."""
-        return cls.create(tracing=True, telemetry=True, **kwargs)
+        return cls.create(tracing=True, telemetry=True,
+                          trace_evictions=trace_evictions,
+                          snapshot_interval_s=snapshot_interval_s)
 
     # ------------------------------------------------------------------
     # Attachment
@@ -86,8 +92,9 @@ class ObservabilityHub:
         interval = snapshot_interval_s if snapshot_interval_s is not None \
             else self.snapshot_interval_s
         if interval is not None and self.registry is not None:
+            registry: TelemetryRegistry = self.registry
             cluster.sim.schedule_periodic(
-                interval, lambda: self.registry.snapshot(cluster.sim.now))
+                interval, lambda: registry.snapshot(cluster.sim.now))
         return self
 
     def instrument_replica(self, replica: "Replica") -> None:
@@ -99,7 +106,7 @@ class ObservabilityHub:
         pool = replica.engine.buffer_pool
         pool.on_evict = self._make_evict_hook(replica)
 
-    def _make_evict_hook(self, replica: "Replica"):
+    def _make_evict_hook(self, replica: "Replica") -> Callable[[float], None]:
         registry = self.registry
         evictions = registry.counter("buffer.evictions") if registry else None
         evicted_bytes = registry.counter("buffer.evicted_bytes") if registry else None
@@ -108,7 +115,7 @@ class ObservabilityHub:
         replica_id = replica.replica_id
 
         def on_evict(freed_bytes: float) -> None:
-            if evictions is not None:
+            if evictions is not None and evicted_bytes is not None:
                 evictions.inc()
                 evicted_bytes.inc(freed_bytes)
             if tracer is not None:
@@ -150,7 +157,7 @@ class ObservabilityHub:
                                 args={"detail": detail})
 
     def rpc_event(self, replica_id: int, kind: str, now: float,
-                  args: Optional[dict] = None) -> None:
+                  args: Optional[Dict[str, object]] = None) -> None:
         """An at-least-once certification RPC event (timeout, retry,
         stale-response, shed) at one proxy.  Only fired in channel mode."""
         if self.registry is not None:
@@ -158,7 +165,7 @@ class ObservabilityHub:
         if self.tracer is not None:
             self.tracer.instant(kind, "rpc", now, replica_id, args=args)
 
-    def autoscaler_event(self, decision) -> None:
+    def autoscaler_event(self, decision: "ScalingDecision") -> None:
         if self.registry is not None:
             self.registry.counter("autoscaler.%s" % decision.action).inc()
         if self.tracer is not None:
@@ -173,7 +180,11 @@ class ObservabilityHub:
     # ------------------------------------------------------------------
     def _register_cluster_gauges(self, cluster: "ReplicatedCluster") -> None:
         registry = self.registry
-        certifier = cluster.certifier
+        if registry is None:
+            return
+        # Duck-typed seam: Certifier, ReplicatedCertifierLog and
+        # ShardedCertifier all expose the stats/current_version surface.
+        certifier: Any = cluster.certifier
         metrics = cluster.metrics
         routing = cluster.routing
 
@@ -205,7 +216,7 @@ class ObservabilityHub:
         registry.gauge("certifier.log_entries",
                        lambda: len(getattr(certifier, "leader", certifier).log))
 
-        def buffer_totals():
+        def buffer_totals() -> Dict[str, float]:
             requested = missed = resident = evicted = 0.0
             for replica in cluster.replicas.values():
                 stats = replica.engine.buffer_pool.stats
@@ -232,7 +243,7 @@ class ObservabilityHub:
         registry.gauge("metrics.abort_reasons",
                        lambda: dict(sorted(metrics.abort_reasons.items())))
 
-        def monitor_means():
+        def monitor_means() -> Dict[str, float]:
             loads = cluster.monitor.loads()
             if not loads:
                 return {"cpu": 0.0, "disk": 0.0}
@@ -242,9 +253,9 @@ class ObservabilityHub:
 
         registry.gauge("monitor.mean_load", monitor_means)
 
-        def replica_detail():
+        def replica_detail() -> Dict[str, Dict[str, object]]:
             loads = cluster.monitor.loads()
-            detail = {}
+            detail: Dict[str, Dict[str, object]] = {}
             for rid in sorted(cluster.replicas):
                 replica = cluster.replicas[rid]
                 pool = replica.engine.buffer_pool
@@ -286,7 +297,7 @@ class ObservabilityHub:
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
-    def final_snapshot(self) -> Optional[dict]:
+    def final_snapshot(self) -> Optional[Dict[str, object]]:
         """Take one last registry snapshot at the attached cluster's now."""
         if self.registry is None:
             return None
@@ -302,7 +313,7 @@ class ObservabilityHub:
         if self.registry is None:
             raise RuntimeError("no registry attached to this hub")
         self.final_snapshot()
-        extra = {}
+        extra: Dict[str, object] = {}
         if self.tracer is not None:
             extra["stage_latency"] = self.tracer.stages.to_dict()
         self.registry.export(path, extra=extra)

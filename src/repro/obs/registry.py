@@ -23,7 +23,7 @@ results.
 from __future__ import annotations
 
 import json
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple, cast
 
 TELEMETRY_SCHEMA_VERSION = 1
 
@@ -35,9 +35,13 @@ class Counter:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.value = 0
+        # Annotated float (inc() takes byte counts and durations), but
+        # initialised with int 0 so an untouched counter still exports as
+        # ``0`` -- json.dump renders 0 and 0.0 differently and the
+        # telemetry goldens pin the former.
+        self.value: float = 0
 
-    def inc(self, amount=1) -> None:
+    def inc(self, amount: float = 1) -> None:
         self.value += amount
 
 
@@ -47,7 +51,7 @@ class TelemetryRegistry:
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Callable[[], object]] = {}
-        self.snapshots: List[Dict] = []
+        self.snapshots: List[Dict[str, object]] = []
 
     # ------------------------------------------------------------------
     # Registration
@@ -73,7 +77,7 @@ class TelemetryRegistry:
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
-    def counter_value(self, name: str):
+    def counter_value(self, name: str) -> float:
         counter = self._counters.get(name)
         return counter.value if counter is not None else 0
 
@@ -83,9 +87,9 @@ class TelemetryRegistry:
     def gauges_snapshot(self) -> Dict[str, object]:
         return {name: fn() for name, fn in sorted(self._gauges.items())}
 
-    def snapshot(self, now: float) -> Dict:
+    def snapshot(self, now: float) -> Dict[str, object]:
         """Sample everything into a time-stamped snapshot and retain it."""
-        snap = {
+        snap: Dict[str, object] = {
             "time": now,
             "counters": self.counters_snapshot(),
             "gauges": self.gauges_snapshot(),
@@ -93,26 +97,30 @@ class TelemetryRegistry:
         self.snapshots.append(snap)
         return snap
 
-    def series(self, metric: str) -> List[tuple]:
+    def series(self, metric: str) -> List[Tuple[float, object]]:
         """``(time, value)`` pairs of one counter or gauge across snapshots."""
-        points = []
+        points: List[Tuple[float, object]] = []
         for snap in self.snapshots:
-            if metric in snap["counters"]:
-                points.append((snap["time"], snap["counters"][metric]))
-            elif metric in snap["gauges"]:
-                points.append((snap["time"], snap["gauges"][metric]))
+            time = cast(float, snap["time"])
+            counters = cast(Dict[str, object], snap["counters"])
+            gauges = cast(Dict[str, object], snap["gauges"])
+            if metric in counters:
+                points.append((time, counters[metric]))
+            elif metric in gauges:
+                points.append((time, gauges[metric]))
         return points
 
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "schema_version": TELEMETRY_SCHEMA_VERSION,
             "snapshots": self.snapshots,
         }
 
-    def export(self, path: str, extra: Optional[Dict] = None) -> None:
+    def export(self, path: str,
+               extra: Optional[Dict[str, object]] = None) -> None:
         payload = self.to_dict()
         if extra:
             payload.update(extra)

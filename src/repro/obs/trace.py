@@ -35,6 +35,11 @@ STAGE_NAMES: Tuple[str, ...] = ("queue", "cpu", "reads", "certify")
 
 TRACE_SCHEMA = "chrome-trace-event"
 
+#: Flat stored event: (phase, name, category, start_s, duration_s, pid, tid,
+#: args) -- converted to the Chrome schema only at export.
+_TraceEvent = Tuple[str, str, str, float, float, int, int,
+                    Optional[Dict[str, object]]]
+
 
 class TxnTrace:
     """Per-transaction trace state: one allocated per traced transaction.
@@ -116,7 +121,7 @@ class LatencyHistogram:
                 return min(bound_us / 1e6, self.max_seconds)
         return self.max_seconds
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "count": self.count,
             "total_seconds": self.total_seconds,
@@ -160,7 +165,7 @@ class StageLatencyAggregator:
             return 0.0
         return abs(self.stage_total_seconds() - total) / total
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "stages": {name: hist.to_dict() for name, hist in self.stages.items()},
             "total": self.total.to_dict(),
@@ -180,7 +185,7 @@ class Tracer:
     """
 
     def __init__(self, max_events: Optional[int] = None) -> None:
-        self._events: List[tuple] = []
+        self._events: List[_TraceEvent] = []
         self._process_names: Dict[int, str] = {}
         self.max_events = max_events
         self.dropped_events = 0
@@ -190,7 +195,8 @@ class Tracer:
     # Recording
     # ------------------------------------------------------------------
     def span(self, name: str, cat: str, start_s: float, duration_s: float,
-             pid: int, tid: int, args: Optional[Dict] = None) -> None:
+             pid: int, tid: int,
+             args: Optional[Dict[str, object]] = None) -> None:
         """A complete ("X") span: ``[start_s, start_s + duration_s]``."""
         events = self._events
         if self.max_events is not None and len(events) >= self.max_events:
@@ -199,7 +205,8 @@ class Tracer:
         events.append(("X", name, cat, start_s, duration_s, pid, tid, args))
 
     def instant(self, name: str, cat: str, ts_s: float, pid: int,
-                tid: int = 0, args: Optional[Dict] = None) -> None:
+                tid: int = 0,
+                args: Optional[Dict[str, object]] = None) -> None:
         """An instant ("i") event at ``ts_s``."""
         events = self._events
         if self.max_events is not None and len(events) >= self.max_events:
@@ -219,7 +226,7 @@ class Tracer:
         return len(self._events)
 
     def events(self, cat: Optional[str] = None,
-               name: Optional[str] = None) -> Iterator[Dict]:
+               name: Optional[str] = None) -> Iterator[Dict[str, object]]:
         """Iterate recorded events as dicts, optionally filtered."""
         for ph, ev_name, ev_cat, ts, dur, pid, tid, args in self._events:
             if cat is not None and ev_cat != cat:
@@ -232,16 +239,16 @@ class Tracer:
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
-    def to_chrome(self) -> Dict:
+    def to_chrome(self) -> Dict[str, object]:
         """The trace in Chrome trace-event JSON object format."""
-        trace_events: List[Dict] = []
+        trace_events: List[Dict[str, object]] = []
         for pid in sorted(self._process_names):
             trace_events.append({
                 "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
                 "args": {"name": self._process_names[pid]},
             })
         for ph, name, cat, ts, dur, pid, tid, args in self._events:
-            event = {
+            event: Dict[str, object] = {
                 "ph": ph, "name": name, "cat": cat,
                 "ts": round(ts * 1e6, 3),
                 "pid": pid, "tid": tid,

@@ -29,6 +29,7 @@ from repro.replication.sharding import ShardedCertifier
 
 if TYPE_CHECKING:
     from repro.elasticity.membership import MembershipManager
+    from repro.obs.hub import ObservabilityHub
 from repro.sim.clients import ClientConfig, ClientPopulation
 from repro.sim.metrics import MetricsCollector
 from repro.sim.monitor import ClusterMonitor, LoadSample
@@ -241,7 +242,7 @@ class ReplicatedCluster:
         #: hub.attach(); the cold-path subsystems (membership, faults,
         #: autoscaler) publish events through it when present.  Must exist
         #: before _build_replicas so joiners can be instrumented uniformly.
-        self.observability = None
+        self.observability: Optional["ObservabilityHub"] = None
         #: Consistency checker (repro.net.invariants.ConsistencyChecker) or
         #: None.  Installed by the checker itself; replicas built while it
         #: is present get an apply ledger armed.  Same contract as

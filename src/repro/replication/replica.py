@@ -51,7 +51,7 @@ single ``sim.defer`` it always was, preserving seeded outputs bit for bit.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from repro.obs.trace import CERTIFY, CPU, QUEUE, READS, STAGE_NAMES, TxnTrace
 from repro.replication.certifier import Certifier
@@ -63,6 +63,9 @@ from repro.sim.simulator import Simulator
 from repro.storage.disk import DiskModel
 from repro.storage.engine import DatabaseEngine, TransactionWork
 from repro.workloads.spec import TransactionType
+
+if TYPE_CHECKING:
+    from repro.obs.hub import ObservabilityHub
 
 # Callback invoked when a submitted transaction finishes (committed=True/False).
 CompletionCallback = Callable[[bool], None]
@@ -164,7 +167,7 @@ class Replica:
         # Observability hub (tracer + telemetry registry); None keeps every
         # instrumentation site on the no-op fast path, same contract as
         # ``metrics``.  Installed by ObservabilityHub.instrument_replica.
-        self.obs = None
+        self.obs: Optional["ObservabilityHub"] = None
         # Hook installed by the cluster: called once per certification batch
         # that committed at least one transaction, so the writesets (already
         # in the certifier's log) are propagated to the other replicas.
@@ -579,15 +582,18 @@ class Replica:
     # Tracing (no-ops unless an ObservabilityHub armed ``ctx.trace``)
     # ------------------------------------------------------------------
     def _trace_lap(self, ctx: TransactionContext, stage: int) -> None:
-        """Close the trace's current stage at ``now`` and emit its span."""
-        # Deliberately unguarded: every call site checks ctx.trace/self.obs
-        # before entering, keeping this helper branch-free on the traced path.
+        """Close the trace's current stage at ``now`` and emit its span.
+
+        Unguarded by design: every call site checks ctx.trace/self.obs
+        before entering, keeping this helper branch-free on the traced
+        path -- which O2 proves interprocedurally.
+        """
         trace = ctx.trace
         now = self.sim.now
-        start = trace.lap(stage, now)  # simlint: disable=O1
-        self.obs.tracer.span(STAGE_NAMES[stage], "stage",  # simlint: disable=O1
+        start = trace.lap(stage, now)
+        self.obs.tracer.span(STAGE_NAMES[stage], "stage",
                              start, now - start,
-                             self.replica_id, trace.txn_id,  # simlint: disable=O1
+                             self.replica_id, trace.txn_id,
                              args={"attempt": ctx.attempt})
 
     def _trace_finish(self, ctx: TransactionContext, committed: bool) -> None:
@@ -598,15 +604,13 @@ class Replica:
         sum-reconcile with the end-to-end latency histogram: the stage laps
         telescope from ``submitted_at`` to the finish instant.
         """
-        # Deliberately unguarded: only called from guarded call sites
-        # (zero-overhead contract enforced one frame up).
         trace = ctx.trace
         now = self.sim.now
         total = now - ctx.submitted_at
-        tracer = self.obs.tracer  # simlint: disable=O1
-        tracer.stages.record_txn(trace.stage_seconds, total)  # simlint: disable=O1
+        tracer = self.obs.tracer
+        tracer.stages.record_txn(trace.stage_seconds, total)
         tracer.span("txn", "txn", ctx.submitted_at, total, self.replica_id,
-                    trace.txn_id,  # simlint: disable=O1
+                    trace.txn_id,
                     args={"type": ctx.txn_type.name, "committed": committed,
                           "attempts": ctx.attempt})
 

@@ -41,7 +41,7 @@ class CertifiedWriteSet:
             return NotImplemented
         return (self.version == other.version
                 and self.writeset == other.writeset
-                and self.commit_time == other.commit_time)  # simlint: disable=F1 -- value equality mirrors the former dataclass
+                and self.commit_time == other.commit_time)
 
     def __hash__(self) -> int:
         return hash((self.version, self.writeset, self.commit_time))

@@ -77,6 +77,11 @@ class EventQueue:
         self._next_sequence = 0
         # Non-cancelled events still in the heap (O(1) len/bool).
         self._live = 0
+        # Determinism-sanitizer hook (repro.analysis.dsan): called with
+        # ``(time, sequence, callback)`` for every *executed* event.  Same
+        # zero-overhead contract as the obs/ slots -- None by default, and
+        # the simulator's fast loop never touches it unless armed.
+        self.probe: Optional[Callable[[float, int, object], None]] = None
 
     def __len__(self) -> int:
         return self._live

@@ -92,6 +92,9 @@ class Simulator:
         if event.time < self.now:
             raise RuntimeError("event queue produced an event in the past")
         self.now = event.time
+        hook = self.queue.probe
+        if hook is not None:
+            hook(event.time, event.sequence, event.callback)
         event.callback()
         self.events_processed += 1
         return True
@@ -109,6 +112,12 @@ class Simulator:
         if end_time < self.now:
             raise ValueError("end_time lies in the past")
         queue = self.queue
+        hook = queue.probe
+        if hook is not None:
+            # Armed only by the determinism sanitizer; the fast loop below
+            # stays byte-identical (and branch-free on the slot) otherwise.
+            self._run_until_probed(end_time, hook)
+            return
         heap = queue._heap
         heappop = heapq.heappop
         event_class = Event
@@ -136,6 +145,46 @@ class Simulator:
                 heappop(heap)
                 queue._live -= 1
                 self.now = entry[0]
+                payload()  # type: ignore[operator]
+            processed += 1
+        self.events_processed += processed
+        self.now = max(self.now, end_time)
+
+    def _run_until_probed(self, end_time: float,
+                          hook: Callable[[float, int, object], None]) -> None:
+        """The :meth:`run_until` loop with the dsan probe armed.
+
+        A separate method so the unprobed fast path carries no per-event
+        branch; the event order, clock updates and ``events_processed``
+        accounting are identical to :meth:`run_until`.
+        """
+        queue = self.queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        event_class = Event
+        processed = 0
+        while heap:
+            entry = heap[0]
+            payload = entry[2]
+            if payload.__class__ is event_class:
+                if payload.cancelled:  # type: ignore[attr-defined]
+                    heappop(heap)
+                    continue
+                if entry[0] > end_time:
+                    break
+                heappop(heap)
+                queue._live -= 1
+                payload._queue = None  # type: ignore[attr-defined]
+                self.now = entry[0]
+                hook(entry[0], entry[1], payload.callback)  # type: ignore[attr-defined]
+                payload.callback()  # type: ignore[attr-defined]
+            else:
+                if entry[0] > end_time:
+                    break
+                heappop(heap)
+                queue._live -= 1
+                self.now = entry[0]
+                hook(entry[0], entry[1], payload)
                 payload()  # type: ignore[operator]
             processed += 1
         self.events_processed += processed

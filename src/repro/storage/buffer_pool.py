@@ -42,7 +42,7 @@ being evaluated per access.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 
 class BufferPoolStats:
@@ -146,7 +146,7 @@ class BufferPool:
         #: Optional callback(freed_bytes) fired after each eviction pass
         #: (observability).  None by default: the eviction path pays one
         #: attribute test when nothing is attached.
-        self.on_evict = None
+        self.on_evict: Optional[Callable[[float], None]] = None
 
     # ------------------------------------------------------------------
     # Introspection

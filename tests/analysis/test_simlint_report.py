@@ -94,7 +94,8 @@ def test_report_json_schema():
     assert payload["files_analyzed"] == 1
     assert set(payload["rules"]) == {"D1", "D2", "D3", "O1", "S1", "F1"}
     assert payload["counts"] == {
-        "findings": 1, "suppressed": 1, "by_rule": {"D1": 2}}
+        "findings": 1, "suppressed": 1, "waived": 0,
+        "stale_suppressions": 0, "by_rule": {"D1": 2}}
     (finding,) = payload["findings"]
     assert set(finding) == {"rule", "path", "line", "col", "message"}
     assert finding["rule"] == "D1" and finding["line"] == 2
@@ -167,9 +168,17 @@ def test_src_repro_has_zero_unsuppressed_findings():
 
 def test_src_repro_suppressions_are_the_documented_ones():
     # Every suppression in the tree must stay deliberate: this list is the
-    # reviewed set (replica.py's branch-free trace helpers, guarded one
-    # frame up).  Extending it is fine -- do it consciously, here.
+    # reviewed set.  replica.py's six O1 suppressions were retired in v2
+    # (O2 now proves the trace helpers' call sites are guarded); the one
+    # survivor is the standalone-engine default RNG seed literal.
+    # Extending this list is fine -- do it consciously, here.
     report = analyze_paths([PACKAGE_DIR])
     suppressed = {(f.path, f.rule) for f in report.suppressed}
-    assert suppressed <= {("replication/replica.py", "O1")}
-    assert len(report.suppressed) == 6
+    assert suppressed <= {("storage/engine.py", "R1")}
+    assert len(report.suppressed) == 1
+    # The retired O1 findings are waived by O2, not silently gone.
+    waived = {(f.path, f.rule) for f in report.waived}
+    assert waived == {("replication/replica.py", "O1")}
+    assert len(report.waived) == 6
+    # And nothing in the tree carries a stale suppression.
+    assert report.stale == []
